@@ -1,0 +1,156 @@
+(* The full benchmark harness.
+
+   Part 1 regenerates every "table/figure" of the evaluation (the
+   paper is a position paper with no numbered exhibits; DESIGN.md S3
+   maps each experiment id to the claim it tests).  Experiments run in
+   quick mode here so the whole suite completes in a couple of minutes;
+   `bin/chorus_sim run --full` produces the big sweeps.
+
+   Part 2 is a Bechamel micro-benchmark suite over the runtime
+   primitives (host-side cost of simulating spawn / send / choice /
+   engine events) — one Test.make per experiment family, all in this
+   one executable, so simulator performance regressions are visible.
+
+   Usage: main.exe [--tables-only | --bechamel-only] *)
+
+module Experiments = Chorus_experiments.Experiments
+module Machine = Chorus_machine.Machine
+module Runtime = Chorus.Runtime
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables                                           *)
+
+let run_tables () =
+  print_endline "=====================================================";
+  print_endline " Chorus evaluation: all experiments (quick mode)";
+  print_endline "=====================================================\n";
+  List.iter (Experiments.run_and_print ~quick:true ~seed:42) Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: bechamel micro-benchmarks of the simulator itself           *)
+
+let machine = lazy (Machine.mesh ~cores:16)
+
+let sim body () =
+  ignore
+    (Runtime.run (Runtime.config ~seed:1 (Lazy.force machine)) body)
+
+let bench_spawn =
+  Bechamel.Test.make ~name:"e1:spawn+join x100"
+    (Bechamel.Staged.stage
+       (sim (fun () ->
+            for _ = 1 to 100 do
+              ignore (Fiber.join (Fiber.spawn (fun () -> ())))
+            done)))
+
+let bench_rendezvous =
+  Bechamel.Test.make ~name:"e1:rendezvous ping-pong x100"
+    (Bechamel.Staged.stage
+       (sim (fun () ->
+            let c = Chan.rendezvous () and r = Chan.rendezvous () in
+            let _echo =
+              Fiber.spawn ~daemon:true (fun () ->
+                  let rec loop () =
+                    Chan.send r (Chan.recv c);
+                    loop ()
+                  in
+                  loop ())
+            in
+            for i = 1 to 100 do
+              Chan.send c i;
+              ignore (Chan.recv r)
+            done)))
+
+let bench_buffered =
+  Bechamel.Test.make ~name:"e5:buffered stream x1000"
+    (Bechamel.Staged.stage
+       (sim (fun () ->
+            let c = Chan.buffered 32 in
+            let consumer =
+              Fiber.spawn (fun () ->
+                  for _ = 1 to 1000 do
+                    ignore (Chan.recv c)
+                  done)
+            in
+            for i = 1 to 1000 do
+              Chan.send c i
+            done;
+            ignore (Fiber.join consumer))))
+
+let bench_choice =
+  Bechamel.Test.make ~name:"e6:choice over 8 channels x100"
+    (Bechamel.Staged.stage
+       (sim (fun () ->
+            let chans = Array.init 8 (fun _ -> Chan.buffered 4) in
+            let _feeder =
+              Fiber.spawn ~daemon:true (fun () ->
+                  let i = ref 0 in
+                  let rec loop () =
+                    Chan.send chans.(!i mod 8) !i;
+                    incr i;
+                    loop ()
+                  in
+                  loop ())
+            in
+            for _ = 1 to 100 do
+              ignore
+                (Chan.choose
+                   (Array.to_list
+                      (Array.map (fun c -> Chan.recv_case c (fun v -> v))
+                         chans)))
+            done)))
+
+let bench_sleep_timers =
+  Bechamel.Test.make ~name:"engine:1000 timers"
+    (Bechamel.Staged.stage
+       (sim (fun () ->
+            let fibers =
+              List.init 100 (fun i ->
+                  Fiber.spawn (fun () ->
+                      for _ = 1 to 10 do
+                        Fiber.sleep (100 + i)
+                      done))
+            in
+            List.iter (fun f -> ignore (Fiber.join f)) fibers)))
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "\n=====================================================";
+  print_endline " Bechamel: host-side cost of the simulator primitives";
+  print_endline "=====================================================\n";
+  let tests =
+    Test.make_grouped ~name:"chorus"
+      [ bench_spawn; bench_rendezvous; bench_buffered; bench_choice;
+        bench_sleep_timers ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> rows := (name, est) :: !rows
+      | Some [] | None -> ())
+    results;
+  Printf.printf "%-40s %16s\n" "primitive benchmark" "host ns/run";
+  Printf.printf "%s\n" (String.make 57 '-');
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %16.0f\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = not (List.mem "--bechamel-only" args) in
+  let bech = not (List.mem "--tables-only" args) in
+  if tables then run_tables ();
+  if bech then run_bechamel ()

@@ -1,0 +1,1 @@
+examples/fileserver.ml: Chorus Chorus_kernel Chorus_machine Chorus_sched Chorus_util Chorus_workload List Printf

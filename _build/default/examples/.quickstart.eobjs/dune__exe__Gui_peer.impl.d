@@ -1,0 +1,1 @@
+examples/gui_peer.ml: Chorus Chorus_machine Chorus_util Chorus_workload Option Printf

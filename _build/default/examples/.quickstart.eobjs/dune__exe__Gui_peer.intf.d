@@ -1,0 +1,1 @@
+examples/gui_peer.mli:

@@ -1,0 +1,1 @@
+examples/netkv_cluster.ml: Chorus Chorus_machine Chorus_net Chorus_sched List Printf

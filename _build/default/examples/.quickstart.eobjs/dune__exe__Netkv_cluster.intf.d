@@ -1,0 +1,1 @@
+examples/netkv_cluster.mli:

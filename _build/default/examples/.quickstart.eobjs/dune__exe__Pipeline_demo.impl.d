@@ -1,0 +1,1 @@
+examples/pipeline_demo.ml: Chorus Chorus_machine Chorus_sched Chorus_util Chorus_workload List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chorus Chorus_machine Printf

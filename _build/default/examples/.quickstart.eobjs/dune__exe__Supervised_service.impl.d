@@ -1,0 +1,1 @@
+examples/supervised_service.ml: Chorus Chorus_kernel Chorus_machine Hashtbl List Printf

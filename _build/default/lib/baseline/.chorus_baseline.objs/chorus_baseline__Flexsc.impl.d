@@ -1,0 +1,1 @@
+lib/baseline/flexsc.ml: Chorus Chorus_machine List

@@ -1,0 +1,1 @@
+lib/baseline/lock.ml: Chorus Chorus_machine Chorus_util Fun

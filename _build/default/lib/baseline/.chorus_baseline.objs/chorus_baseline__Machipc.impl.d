@@ -1,0 +1,1 @@
+lib/baseline/machipc.ml: Chorus Chorus_machine

@@ -1,0 +1,1 @@
+lib/baseline/rwlock.ml: Chorus Chorus_machine Chorus_util Fun Option

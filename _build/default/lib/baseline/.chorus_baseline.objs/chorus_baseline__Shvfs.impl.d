@@ -1,0 +1,1 @@
+lib/baseline/shvfs.ml: Array Bytes Chorus Chorus_fsspec Chorus_machine Hashtbl List Lock Printf Rwlock String Trap

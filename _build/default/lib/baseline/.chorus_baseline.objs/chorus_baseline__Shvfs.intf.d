@@ -1,0 +1,1 @@
+lib/baseline/shvfs.mli: Chorus_fsspec Chorus_machine

@@ -1,0 +1,1 @@
+lib/baseline/signals.ml: Chorus Chorus_machine List Trap

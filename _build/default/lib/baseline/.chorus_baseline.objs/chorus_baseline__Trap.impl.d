@@ -1,0 +1,1 @@
+lib/baseline/trap.ml: Chorus Chorus_machine Fun

@@ -1,0 +1,25 @@
+(** Reader-writer lock (writer-preferring) with coherence-cost
+    accounting, for the baseline kernel's read-mostly structures
+    (name cache, mount table). *)
+
+type t
+
+val create : ?label:string -> unit -> t
+
+val acquire_read : t -> unit
+
+val release_read : t -> unit
+
+val acquire_write : t -> unit
+
+val release_write : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+
+val with_write : t -> (unit -> 'a) -> 'a
+
+val readers : t -> int
+
+val acquisitions : t -> int
+
+val contended : t -> int

@@ -1,0 +1,10 @@
+module Engine = Chorus.Engine
+module Cost = Chorus_machine.Cost
+
+let enter () =
+  let eng = Engine.current () in
+  Engine.charge eng (Engine.costs eng).Cost.mode_switch
+
+let syscall f =
+  enter ();
+  Fun.protect ~finally:enter f

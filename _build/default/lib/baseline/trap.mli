@@ -1,0 +1,13 @@
+(** Protection-domain crossings for the conventional kernel.
+
+    Every baseline system call pays a trap into supervisor mode and a
+    return; the message kernel pays neither (paper Section 4: "it is no
+    longer necessary to transition to kernel mode to make system
+    calls").  E2/E3 hinge on this asymmetry being explicit. *)
+
+val syscall : (unit -> 'a) -> 'a
+(** [syscall f] charges a mode switch, runs [f] "in the kernel",
+    charges the return switch. *)
+
+val enter : unit -> unit
+(** One-way crossing (used by the signal-delivery model). *)

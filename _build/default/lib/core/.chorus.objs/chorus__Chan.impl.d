@@ -1,0 +1,1 @@
+lib/core/chan.ml: Array Chorus_machine Chorus_util Engine List Printf Queue Trace

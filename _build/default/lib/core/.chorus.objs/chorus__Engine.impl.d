@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Buffer Chorus_machine Chorus_sched Chorus_util Effect Fun List Printexc Printf Trace

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Chorus_machine Chorus_sched Chorus_util Trace

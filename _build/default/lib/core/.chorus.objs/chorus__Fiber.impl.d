@@ -1,0 +1,1 @@
+lib/core/fiber.ml: Chorus_machine Engine

@@ -1,0 +1,1 @@
+lib/core/runstats.ml: Array Engine Format

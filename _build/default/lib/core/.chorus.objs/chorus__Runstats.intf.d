@@ -1,0 +1,1 @@
+lib/core/runstats.mli: Engine Format

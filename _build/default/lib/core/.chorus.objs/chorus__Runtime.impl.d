@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Chorus_machine Chorus_sched Engine Runstats Trace

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Chorus_machine Chorus_sched Runstats Trace

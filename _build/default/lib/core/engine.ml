@@ -1,0 +1,517 @@
+module Rng = Chorus_util.Rng
+module Pqueue = Chorus_util.Pqueue
+module Deque = Chorus_util.Deque
+module Machine = Chorus_machine.Machine
+module Cost = Chorus_machine.Cost
+module Policy = Chorus_sched.Policy
+
+type exit_status = Normal | Crashed of exn | Killed
+
+exception Deadlock of string
+exception Killed_exn
+
+type state = Created | Runnable | Running | Blocked | Done
+
+type priority = High | Normal
+
+type fiber = {
+  fid : int;
+  mutable label : string;
+  mutable core : int;
+  mutable prio : priority;
+  mutable state : state;
+  mutable wait_tag : string;
+  mutable status : exit_status option;
+  mutable monitors : (time:int -> exit_status -> unit) list;
+  mutable on_kill : (exn -> unit) option;
+  mutable kill_requested : bool;
+  daemon : bool;
+}
+
+type core_state = {
+  cid : int;
+  runq : (fiber * (unit -> unit)) Deque.t;
+  mutable pending : int;
+      (** wakes scheduled but not yet enqueued — makes load visible to
+          placement policies within the scheduling segment *)
+  mutable free_at : int;
+  mutable busy : int;
+  mutable kicked : bool;
+}
+
+type counters = {
+  mutable msgs : int;
+  mutable remote_msgs : int;
+  mutable words_copied : int;
+  mutable hops : int;
+  mutable spawns : int;
+  mutable steals : int;
+  mutable segments : int;
+  mutable events : int;
+  mutable wakes : int;
+}
+
+type config = {
+  machine : Machine.t;
+  policy : Policy.t;
+  seed : int;
+  trace : Trace.sink option;
+  max_events : int;
+}
+
+type t = {
+  config : config;
+  machine : Machine.t;
+  policy : Policy.t;
+  rng : Rng.t;
+  policy_rng : Rng.t;
+  events : (int * int, unit -> unit) Pqueue.t;
+  mutable seq : int;
+  cores : core_state array;
+  mutable now : int;  (** time of the event being processed *)
+  mutable horizon : int;  (** furthest virtual time reached *)
+  mutable seg_start : int;
+  mutable seg_acc : int;
+  mutable seg_fiber : fiber option;
+  mutable next_fid : int;
+  mutable next_oid : int;
+  mutable live : int;
+  mutable live_nondaemon : int;
+  mutable main_crash : exn option;
+  mutable fibers : fiber list;  (** registry for deadlock reports *)
+  cnt : counters;
+}
+
+let default_config machine =
+  { machine;
+    policy = Policy.parent;
+    seed = 42;
+    trace = None;
+    max_events = 200_000_000 }
+
+let create (config : config) =
+  let n = Machine.cores config.machine in
+  let rng = Rng.make config.seed in
+  let cmp (t1, s1) (t2, s2) =
+    if t1 <> t2 then compare t1 t2 else compare s1 s2
+  in
+  { config;
+    machine = config.machine;
+    policy = config.policy;
+    rng;
+    policy_rng = Rng.split rng;
+    events = Pqueue.create cmp;
+    seq = 0;
+    cores =
+      Array.init n (fun cid ->
+          { cid; runq = Deque.create (); pending = 0; free_at = 0; busy = 0;
+            kicked = false });
+    now = 0;
+    horizon = 0;
+    seg_start = 0;
+    seg_acc = 0;
+    seg_fiber = None;
+    next_fid = 0;
+    next_oid = 0;
+    live = 0;
+    live_nondaemon = 0;
+    main_crash = None;
+    fibers = [];
+    cnt =
+      { msgs = 0; remote_msgs = 0; words_copied = 0; hops = 0; spawns = 0;
+        steals = 0; segments = 0; events = 0; wakes = 0 };
+  }
+
+let machine t = t.machine
+
+let costs t = Machine.costs t.machine
+
+let rng t = t.rng
+
+let counters t = t.cnt
+
+let fresh_id t =
+  let id = t.next_oid in
+  t.next_oid <- id + 1;
+  id
+
+let fiber_id f = f.fid
+
+let fiber_label f = f.label
+
+let fiber_core f = f.core
+
+let alive f = f.state <> Done
+
+let status f = f.status
+
+let live_fibers t = t.live
+
+let core_busy t = Array.map (fun c -> c.busy) t.cores
+
+let elapsed t = t.horizon
+
+(* ------------------------------------------------------------------ *)
+(* Time and cost accounting                                            *)
+
+let in_fiber t = t.seg_fiber <> None
+
+let now t = if in_fiber t then t.seg_start + t.seg_acc else t.now
+
+let charge t n =
+  assert (n >= 0);
+  if in_fiber t then t.seg_acc <- t.seg_acc + n
+  (* charges outside a fiber (timer callbacks) are dropped: they model
+     hardware, not core work *)
+
+let self t =
+  match t.seg_fiber with
+  | Some f -> f
+  | None -> failwith "Engine.self: not inside a fiber"
+
+let emit t ev =
+  match t.config.trace with
+  | None -> ()
+  | Some sink ->
+    let fiber, core =
+      match t.seg_fiber with
+      | Some f -> (f.fid, f.core)
+      | None -> (-1, -1)
+    in
+    sink { Trace.time = now t; core; fiber; event = ev }
+
+(* ------------------------------------------------------------------ *)
+(* Event queue                                                         *)
+
+let push_event t time thunk =
+  assert (time >= t.now);
+  t.seq <- t.seq + 1;
+  Pqueue.add t.events (time, t.seq) thunk
+
+let schedule_at t time thunk =
+  let time = max time (now t) in
+  push_event t time thunk
+
+(* ------------------------------------------------------------------ *)
+(* Core dispatch                                                       *)
+
+let core_load t c =
+  let core = t.cores.(c) in
+  Deque.length core.runq + core.pending
+  + (if core.free_at > t.now then 1 else 0)
+
+let policy_view t =
+  { Policy.cores = Array.length t.cores;
+    load = core_load t;
+    hops = (fun a b -> Machine.hops t.machine a b);
+    rng = t.policy_rng }
+
+let rec kick t core at =
+  if not core.kicked then begin
+    core.kicked <- true;
+    let when_ = max at core.free_at in
+    push_event t when_ (fun () -> dispatch t core)
+  end
+
+and dispatch t core =
+  core.kicked <- false;
+  match Deque.pop_front core.runq with
+  | Some (f, thunk) ->
+    run_segment t core f thunk ~precharge:0;
+    if not (Deque.is_empty core.runq) then kick t core core.free_at
+    else if Policy.steals t.policy then
+      (* keep this core draining other cores' backlogs *)
+      kick t core core.free_at
+  | None ->
+    if Policy.steals t.policy then try_steal t core
+
+and steal_retry_interval = 2_000
+
+and any_queued_elsewhere t thief =
+  Array.exists
+    (fun c -> c.cid <> thief && not (Deque.is_empty c.runq))
+    t.cores
+
+and try_steal t core =
+  let stolen =
+    match Policy.steal_victim t.policy (policy_view t) ~thief:core.cid with
+    | None -> false
+    | Some vic -> (
+      let victim = t.cores.(vic) in
+      match Deque.pop_front victim.runq with
+      | None -> false
+      | Some (f, thunk) ->
+        t.cnt.steals <- t.cnt.steals + 1;
+        (match t.config.trace with
+        | Some sink ->
+          sink
+            { Trace.time = t.now; core = core.cid; fiber = f.fid;
+              event = Trace.Steal { victim_core = vic; fiber = f.fid } }
+        | None -> ());
+        f.core <- core.cid;
+        (* migration drags the fiber's working set across the chip *)
+        let c = costs t in
+        let miss =
+          c.Cost.cache_miss
+          + (Machine.hops t.machine vic core.cid * c.Cost.coherence_per_hop)
+        in
+        run_segment t core f thunk ~precharge:miss;
+        true)
+  in
+  if stolen || not (Deque.is_empty core.runq) then kick t core core.free_at
+  else if any_queued_elsewhere t core.cid then
+    (* probes missed, but backlog exists: retry after a beat *)
+    kick t core (t.now + steal_retry_interval)
+
+and run_segment t core f thunk ~precharge =
+  let start = max t.now core.free_at in
+  t.seg_start <- start;
+  t.seg_acc <- (costs t).Cost.fiber_switch + precharge;
+  t.seg_fiber <- Some f;
+  f.state <- Running;
+  t.cnt.segments <- t.cnt.segments + 1;
+  thunk ();
+  t.seg_fiber <- None;
+  let fin = t.seg_start + t.seg_acc in
+  core.free_at <- fin;
+  core.busy <- core.busy + (fin - start);
+  if fin > t.horizon then t.horizon <- fin
+
+(* ------------------------------------------------------------------ *)
+(* Making fibers runnable                                              *)
+
+let enqueue_runnable t f thunk ~at =
+  t.cnt.wakes <- t.cnt.wakes + 1;
+  f.state <- Runnable;
+  (* push-assisted balancing: under a stealing policy, a wake that
+     targets a busy core is redirected to an idle one when a couple of
+     random probes find it *)
+  if Policy.steals t.policy && core_load t f.core > 1 then begin
+    let n = Array.length t.cores in
+    let rec probe k =
+      if k > 0 then begin
+        let c = Rng.int t.policy_rng n in
+        if c <> f.core && core_load t c = 0 && t.cores.(c).free_at <= at then
+          f.core <- c
+        else probe (k - 1)
+      end
+    in
+    probe 2
+  end;
+  let core = t.cores.(f.core) in
+  core.pending <- core.pending + 1;
+  push_event t at (fun () ->
+      core.pending <- core.pending - 1;
+      (match f.prio with
+      | High -> Deque.push_front core.runq (f, thunk)
+      | Normal -> Deque.push_back core.runq (f, thunk));
+      kick t core t.now)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber lifecycle                                                     *)
+
+let finish t f st =
+  f.state <- Done;
+  f.status <- Some st;
+  f.on_kill <- None;
+  t.live <- t.live - 1;
+  if not f.daemon then t.live_nondaemon <- t.live_nondaemon - 1;
+  let status_str =
+    match st with
+    | Normal -> "normal"
+    | Killed -> "killed"
+    | Crashed e -> "crashed: " ^ Printexc.to_string e
+  in
+  emit t (Trace.Exit { status = status_str });
+  if f.fid = 0 then begin
+    match st with
+    | Crashed e -> t.main_crash <- Some e
+    | Normal | Killed -> ()
+  end;
+  let time = now t in
+  let ms = f.monitors in
+  f.monitors <- [];
+  List.iter (fun cb -> cb ~time st) (List.rev ms)
+
+let monitor t f cb =
+  match f.status with
+  | Some st -> cb ~time:(now t) st
+  | None -> f.monitors <- cb :: f.monitors
+
+type 'a waker = {
+  w_fiber : fiber;
+  w_used : bool ref;
+  w_k : ('a, unit) Effect.Deep.continuation;
+}
+
+type _ Effect.t +=
+  | Suspend : string * ('a waker -> unit) -> 'a Effect.t
+
+let waker_fiber w = w.w_fiber
+
+let waker_live w = (not !(w.w_used)) && w.w_fiber.state = Blocked
+
+let wake_at_gen t w time v_or_e =
+  if not !(w.w_used) then begin
+    w.w_used := true;
+    let f = w.w_fiber in
+    f.on_kill <- None;
+    f.wait_tag <- "";
+    let thunk =
+      match v_or_e with
+      | Ok v -> fun () -> Effect.Deep.continue w.w_k v
+      | Error e -> fun () -> Effect.Deep.discontinue w.w_k e
+    in
+    enqueue_runnable t f thunk ~at:(max time t.now)
+  end
+
+(* wake_at / wake_err_at need the engine; wakers are only ever used
+   within one run, so we stash the engine in a global for the run. *)
+let current_engine : t option ref = ref None
+
+let current () =
+  match !current_engine with
+  | Some t -> t
+  | None -> failwith "Chorus.Engine.current: no run in progress"
+
+let wake_at w time v = wake_at_gen (current ()) w time (Ok v)
+
+let wake_err_at w time e = wake_at_gen (current ()) w time (Error e)
+
+let suspend (type a) t ~tag (register : a waker -> unit) : a =
+  ignore t;
+  Effect.perform (Suspend (tag, register))
+
+let fiber_body t f body () =
+  let open Effect.Deep in
+  match_with body ()
+    { retc = (fun () -> finish t f Normal);
+      exnc =
+        (fun e ->
+          match e with
+          | Killed_exn -> finish t f Killed
+          | e -> finish t f (Crashed e));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (tag, register) ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if f.kill_requested then discontinue k Killed_exn
+                else begin
+                  f.state <- Blocked;
+                  f.wait_tag <- tag;
+                  emit t (Trace.Block { on = tag });
+                  let w = { w_fiber = f; w_used = ref false; w_k = k } in
+                  f.on_kill <-
+                    Some (fun e -> wake_at_gen t w (now t) (Error e));
+                  register w
+                end)
+          | _ -> None) }
+
+let spawn t ?on ?affinity ?label ?(priority = Normal) ?(daemon = false) body =
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  let parent = t.seg_fiber in
+  let core =
+    match on with
+    | Some c ->
+      if c < 0 || c >= Array.length t.cores then
+        invalid_arg "Engine.spawn: core out of range";
+      c
+    | None ->
+      let parent_core =
+        match parent with Some p -> p.core | None -> 0
+      in
+      Policy.place t.policy (policy_view t) ~parent:parent_core ~affinity
+  in
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "fiber-%d" fid
+  in
+  let f =
+    { fid; label; core; prio = priority; state = Created; wait_tag = "";
+      status = None; monitors = []; on_kill = None; kill_requested = false;
+      daemon }
+  in
+  t.live <- t.live + 1;
+  if not daemon then t.live_nondaemon <- t.live_nondaemon + 1;
+  t.cnt.spawns <- t.cnt.spawns + 1;
+  t.fibers <- f :: t.fibers;
+  (* compact the registry when mostly dead, so long runs stay O(live) *)
+  if t.cnt.spawns land 0xFFF = 0 && List.length t.fibers > 4 * t.live then
+    t.fibers <- List.filter alive t.fibers;
+  let c = costs t in
+  charge t c.Cost.fiber_spawn;
+  let at =
+    match parent with
+    | Some p when p.core <> core ->
+      (* shipping the fork request to a remote core is itself a small
+         message *)
+      now t + Machine.message_latency t.machine ~src:p.core ~dst:core ~words:4
+    | _ -> now t
+  in
+  emit t (Trace.Spawn { child = fid; on_core = core });
+  enqueue_runnable t f (fiber_body t f body) ~at;
+  f
+
+let yield t =
+  let time = now t in
+  suspend t ~tag:"yield" (fun w -> wake_at_gen t w time (Ok ()))
+
+let sleep t n =
+  assert (n >= 0);
+  let time = now t + n in
+  suspend t ~tag:"sleep" (fun w ->
+      push_event t time (fun () -> wake_at_gen t w time (Ok ())))
+
+let kill (_ : t) f =
+  match f.state with
+  | Done -> ()
+  | Blocked ->
+    f.kill_requested <- true;
+    (match f.on_kill with
+    | Some abort ->
+      f.on_kill <- None;
+      abort Killed_exn
+    | None -> ())
+  | Created | Runnable | Running -> f.kill_requested <- true
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let deadlock_report t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    "no pending events but non-daemon fibers remain blocked:";
+  List.iter
+    (fun f ->
+      if alive f && not f.daemon then
+        Buffer.add_string buf
+          (Printf.sprintf "\n  fiber %d (%s) on core %d waiting on %s" f.fid
+             f.label f.core
+             (if f.wait_tag = "" then "<nothing?>" else f.wait_tag)))
+    (List.rev t.fibers);
+  Buffer.contents buf
+
+let run t main =
+  if !current_engine <> None then
+    failwith "Engine.run: nested runs are not supported";
+  current_engine := Some t;
+  let cleanup () = current_engine := None in
+  Fun.protect ~finally:cleanup (fun () ->
+      let (_ : fiber) = spawn t ~on:0 ~label:"main" main in
+      let rec loop () =
+        match Pqueue.pop t.events with
+        | None -> ()
+        | Some ((time, _), thunk) ->
+          t.now <- time;
+          if time > t.horizon then t.horizon <- time;
+          t.cnt.events <- t.cnt.events + 1;
+          if t.config.max_events > 0 && t.cnt.events > t.config.max_events
+          then failwith "Engine.run: event cap exceeded (runaway loop?)";
+          thunk ();
+          loop ()
+      in
+      loop ();
+      (match t.main_crash with Some e -> raise e | None -> ());
+      if t.live_nondaemon > 0 then raise (Deadlock (deadlock_report t)))

@@ -1,0 +1,186 @@
+(** The discrete-event fiber engine.
+
+    This module is the mechanism underneath the public [Fiber] / [Chan]
+    API.  It owns virtual time, per-core run queues, fiber lifecycle,
+    placement, work stealing, deadlock detection and the statistics
+    counters.  Higher layers interact with it through {!charge} (cost
+    accounting), {!suspend} (blocking) and {!schedule_at} (timers).
+
+    {2 Timing model}
+
+    Virtual time is counted in cycles (plain [int]).  A fiber executes
+    in {e segments}: from a (re)start to the next suspension.  Host
+    execution of a segment is instantaneous; costs charged during the
+    segment accumulate, and the segment is deemed to occupy its core
+    from its start time to start + accumulated.  Cross-fiber
+    interactions are linearized in event order; within a segment,
+    operation timestamps are [segment start + charges so far].  This
+    "optimistic segment" scheme makes whole-run results exactly
+    deterministic in (seed, inputs) while keeping event counts low; its
+    one approximation is that a non-blocking poll ([try_recv]) observes
+    state in event order rather than at exact intra-segment cycle
+    granularity. *)
+
+type t
+
+type fiber
+
+type exit_status = Normal | Crashed of exn | Killed
+
+exception Deadlock of string
+(** Raised by {!run} when no event is pending yet a non-daemon fiber is
+    still blocked.  The payload lists every blocked fiber and what it
+    waits on — the runtime analogue of the wait-for-graph check. *)
+
+exception Killed_exn
+(** Raised inside a fiber being killed, so its cleanup handlers run. *)
+
+type config = {
+  machine : Chorus_machine.Machine.t;
+  policy : Chorus_sched.Policy.t;
+  seed : int;
+  trace : Trace.sink option;
+  max_events : int;  (** runaway-loop backstop; 0 = unlimited *)
+}
+
+val default_config : Chorus_machine.Machine.t -> config
+(** Parent placement, seed 42, no trace, 200M events cap. *)
+
+(** {1 Run lifecycle} *)
+
+val create : config -> t
+
+val run : t -> (unit -> unit) -> unit
+(** [run t main] spawns [main] as fiber 0 on core 0 and processes
+    events until none remain.  Raises [Deadlock] as described above,
+    [Failure] if the event cap is hit, and re-raises the first
+    exception that crashed a {e monitored-by-nobody} non-daemon fiber
+    only if it was the main fiber; other crashes are reported through
+    monitors (supervision is a feature, not an accident). *)
+
+val current : unit -> t
+(** The engine executing the calling fiber.  Raises [Failure] outside
+    of [run]. *)
+
+(** {1 Introspection} *)
+
+val machine : t -> Chorus_machine.Machine.t
+
+val costs : t -> Chorus_machine.Cost.t
+
+val now : t -> int
+(** Current virtual time: inside a fiber segment, segment start plus
+    charges so far; between segments, the current event time. *)
+
+val rng : t -> Chorus_util.Rng.t
+
+val fresh_id : t -> int
+(** Unique small integers for channel / object labelling. *)
+
+(** {1 Fiber operations (called from inside a running fiber)} *)
+
+val self : t -> fiber
+
+val fiber_id : fiber -> int
+
+val fiber_label : fiber -> string
+
+val fiber_core : fiber -> int
+
+type priority = High | Normal
+(** [High] fibers jump their core's run queue on every wake — for
+    interrupt-style service fibers (drivers) that must not sit behind
+    batch work. *)
+
+val spawn :
+  t -> ?on:int -> ?affinity:int -> ?label:string -> ?priority:priority ->
+  ?daemon:bool -> (unit -> unit) -> fiber
+(** [spawn t body] creates a fiber.  Placement: [?on] pins a core,
+    otherwise the configured policy decides (passing [?affinity], an
+    opaque gang key, through to it).  The parent (when called from a
+    fiber) is charged the spawn cost; a remote placement additionally
+    costs one small message.  Daemon fibers do not keep the run alive
+    and are not deadlock suspects. *)
+
+val charge : t -> int -> unit
+(** [charge t n] accounts [n] cycles of CPU work on the calling
+    fiber's core. *)
+
+val yield : t -> unit
+(** End the current segment; requeue at the back of the core's run
+    queue. *)
+
+val sleep : t -> int -> unit
+(** Block without occupying the core for [n] cycles (device latency,
+    timer waits). *)
+
+type 'a waker
+(** A one-shot capability to resume a suspended fiber.  Exactly one of
+    {!wake_at} / {!wake_err_at} must be called, once; later calls are
+    ignored (needed by choice, where several registrations race). *)
+
+val wake_at : 'a waker -> int -> 'a -> unit
+(** [wake_at w time v] makes the fiber runnable at virtual [time] with
+    [suspend]'s result [v]. *)
+
+val wake_err_at : 'a waker -> int -> exn -> unit
+(** Resume by raising [exn] at the suspension point. *)
+
+val waker_fiber : 'a waker -> fiber
+
+val waker_live : 'a waker -> bool
+(** [true] while the suspended fiber can still be woken through this
+    waker (it has not been woken, aborted or killed). *)
+
+val suspend : t -> tag:string -> ('a waker -> unit) -> 'a
+(** [suspend t ~tag register] ends the segment and blocks the calling
+    fiber; [register] stows the waker somewhere (a channel wait queue,
+    a timer).  [tag] names the resource for deadlock reports. *)
+
+val schedule_at : t -> int -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs the plain callback [f] at virtual
+    [time] (must be >= {!now}).  Callbacks run outside any fiber:
+    they may wake fibers but must not suspend or charge. *)
+
+(** {1 Lifecycle of other fibers} *)
+
+val monitor : t -> fiber -> (time:int -> exit_status -> unit) -> unit
+(** [monitor t f cb] invokes [cb] when [f] exits (immediately if it
+    already has).  Basis of supervision and [join]. *)
+
+val kill : t -> fiber -> unit
+(** Request termination: a blocked fiber is aborted immediately (its
+    [Killed_exn] unwind runs as a segment); a runnable/running fiber
+    dies at its next suspension point (deferred cancellation). *)
+
+val alive : fiber -> bool
+
+val status : fiber -> exit_status option
+
+(** {1 Statistics counters (updated by channel code)} *)
+
+type counters = {
+  mutable msgs : int;
+  mutable remote_msgs : int;
+  mutable words_copied : int;
+  mutable hops : int;
+  mutable spawns : int;
+  mutable steals : int;
+  mutable segments : int;
+  mutable events : int;
+  mutable wakes : int;
+}
+
+val counters : t -> counters
+
+val emit : t -> Trace.event -> unit
+(** Emit a trace record attributed to the current fiber (no-op without
+    a sink). *)
+
+val core_busy : t -> int array
+(** Per-core busy cycles so far. *)
+
+val elapsed : t -> int
+(** Highest virtual time reached (makespan so far). *)
+
+val live_fibers : t -> int

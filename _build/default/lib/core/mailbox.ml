@@ -1,0 +1,40 @@
+type 'a t = { ch : 'a Chan.t; mutable stash : 'a list (* arrival order *) }
+
+let create ?label () = { ch = Chan.unbounded ?label (); stash = [] }
+
+let send ?words t v = Chan.send ?words t.ch v
+
+let recv t =
+  match t.stash with
+  | v :: rest ->
+    t.stash <- rest;
+    v
+  | [] -> Chan.recv t.ch
+
+let receive t match_ =
+  (* scan the stash first *)
+  let rec scan acc = function
+    | [] -> None
+    | v :: rest -> (
+      match match_ v with
+      | Some r ->
+        t.stash <- List.rev_append acc rest;
+        Some r
+      | None -> scan (v :: acc) rest)
+  in
+  match scan [] t.stash with
+  | Some r -> r
+  | None ->
+    let rec wait () =
+      let v = Chan.recv t.ch in
+      match match_ v with
+      | Some r -> r
+      | None ->
+        t.stash <- t.stash @ [ v ];
+        wait ()
+    in
+    wait ()
+
+let size t = List.length t.stash + Chan.length t.ch
+
+let chan t = t.ch

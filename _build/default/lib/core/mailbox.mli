@@ -1,0 +1,30 @@
+(** Erlang-style process mailbox: unbounded, non-blocking send, with
+    selective receive.
+
+    The kernel's autonomous service fibers (vnodes, drivers,
+    allocators) each own one mailbox and loop on it; selective receive
+    lets a service pull a matching reply out of order while other
+    requests wait — the idiom behind Erlang's nine-nines systems the
+    paper cites. *)
+
+type 'a t
+
+val create : ?label:string -> unit -> 'a t
+
+val send : ?words:int -> 'a t -> 'a -> unit
+(** Never blocks. *)
+
+val recv : 'a t -> 'a
+(** Next message in arrival order (stashed messages first). *)
+
+val receive : 'a t -> ('a -> 'b option) -> 'b
+(** [receive t match_] returns the first message (in arrival order)
+    for which [match_] answers [Some], blocking for new messages as
+    needed; non-matching messages are stashed and stay available to
+    later calls in their original order. *)
+
+val size : 'a t -> int
+(** Messages currently queued (buffered + stashed). *)
+
+val chan : 'a t -> 'a Chan.t
+(** The underlying channel (e.g. to pass the endpoint around). *)

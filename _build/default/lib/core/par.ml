@@ -1,0 +1,64 @@
+exception Branch_failed of string * exn
+
+let par thunks =
+  let fibers =
+    List.mapi
+      (fun i thunk -> (i, Fiber.spawn ~label:(Printf.sprintf "par-%d" i) thunk))
+      thunks
+  in
+  let first_crash = ref None in
+  List.iter
+    (fun (i, f) ->
+      match Fiber.join f with
+      | Fiber.Normal -> ()
+      | Fiber.Killed ->
+        if !first_crash = None then
+          first_crash := Some (Printf.sprintf "par-%d" i, Engine.Killed_exn)
+      | Fiber.Crashed e ->
+        if !first_crash = None then
+          first_crash := Some (Printf.sprintf "par-%d" i, e))
+    fibers;
+  match !first_crash with
+  | Some (label, e) -> raise (Branch_failed (label, e))
+  | None -> ()
+
+let par_map fn xs =
+  let results = Array.make (List.length xs) None in
+  par
+    (List.mapi
+       (fun i x () -> results.(i) <- Some (fn x))
+       xs);
+  Array.to_list results
+  |> List.map (function Some v -> v | None -> assert false)
+
+let par_iteri fn xs = par (List.mapi (fun i x () -> fn i x) xs)
+
+let race thunks =
+  if thunks = [] then invalid_arg "Par.race: empty";
+  let finish = Chan.unbounded () in
+  let fibers =
+    List.mapi
+      (fun i thunk ->
+        Fiber.spawn ~label:(Printf.sprintf "race-%d" i) (fun () ->
+            match thunk () with
+            | v -> Chan.send finish (Ok v)
+            | exception e -> Chan.send finish (Error e)))
+      thunks
+  in
+  let n = List.length thunks in
+  let rec wait_winner i first_err =
+    if i >= n then
+      match first_err with Some e -> raise e | None -> assert false
+    else
+      match Chan.recv finish with
+      | Ok v ->
+        List.iter Fiber.kill fibers;
+        v
+      | Error e ->
+        wait_winner (i + 1)
+          (match first_err with Some _ -> first_err | None -> Some e)
+  in
+  let v = wait_winner 0 None in
+  (* losers unwound by kill; reap them so the run can end cleanly *)
+  List.iter (fun f -> ignore (Fiber.join f)) fibers;
+  v

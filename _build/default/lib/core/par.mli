@@ -1,0 +1,25 @@
+(** occam-style structured parallelism (the paper's occam/Transputer
+    lineage, Section 1/2).
+
+    [PAR] blocks in occam run a set of processes and join them all;
+    these combinators give the same structured shape over fibers, with
+    crash propagation: if any branch crashes, the whole combinator
+    raises after every branch has finished. *)
+
+exception Branch_failed of string * exn
+(** Label of the failed branch and its exception. *)
+
+val par : (unit -> unit) list -> unit
+(** Run every thunk in its own fiber (placed by the run's policy),
+    wait for all.  The first crash (in completion order) is re-raised
+    as {!Branch_failed} after all branches settle. *)
+
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map, preserving order.  Crashes propagate like {!par}. *)
+
+val par_iteri : (int -> 'a -> unit) -> 'a list -> unit
+
+val race : (unit -> 'a) list -> 'a
+(** Run all thunks; return the first value to finish and kill the
+    rest.  Raises [Invalid_argument] on an empty list; if every branch
+    crashes, raises the first crash. *)

@@ -1,0 +1,22 @@
+type ('req, 'resp) endpoint = ('req * 'resp Chan.t) Chan.t
+
+let endpoint ?label () = Chan.unbounded ?label ()
+
+let call ?words ep req =
+  let reply = Chan.buffered 1 in
+  Chan.send ?words ep (req, reply);
+  Chan.recv reply
+
+let serve ep handler =
+  let rec loop () =
+    let req, reply = Chan.recv ep in
+    Chan.send reply (handler req);
+    loop ()
+  in
+  loop ()
+
+let serve_n n ep handler =
+  for _ = 1 to n do
+    let req, reply = Chan.recv ep in
+    Chan.send reply (handler req)
+  done

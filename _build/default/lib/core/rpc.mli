@@ -1,0 +1,26 @@
+(** Request/reply over channels.
+
+    Paper Section 3: "A function call [r = f(a, b)] is equivalent,
+    given a listener thread on channel c ... to writing
+    [c <- (a, b, c1); r <- c1;] where c1 is a fresh channel used to
+    send the return value back."  This module is exactly that pattern,
+    packaged: the system-call interface of the message kernel is built
+    from it, and because the reply channel travels inside the request,
+    a server can delegate the request to another fiber and the reply
+    still flows directly to the caller (the paper's "plumbing"). *)
+
+type ('req, 'resp) endpoint = ('req * 'resp Chan.t) Chan.t
+
+val endpoint : ?label:string -> unit -> ('req, 'resp) endpoint
+(** Unbounded request channel: callers never block on submission. *)
+
+val call : ?words:int -> ('req, 'resp) endpoint -> 'req -> 'resp
+(** Send the request with a fresh reply channel, await the reply. *)
+
+val serve : ('req, 'resp) endpoint -> ('req -> 'resp) -> unit
+(** Serve requests forever (run it in a daemon fiber).  Exceptions
+    raised by the handler crash the server fiber — supervision
+    territory, not silently swallowed. *)
+
+val serve_n : int -> ('req, 'resp) endpoint -> ('req -> 'resp) -> unit
+(** Serve exactly [n] requests, then return. *)

@@ -1,0 +1,30 @@
+type config = {
+  machine : Chorus_machine.Machine.t;
+  policy : Chorus_sched.Policy.t;
+  seed : int;
+  trace : Trace.sink option;
+  max_events : int;
+}
+
+let config ?(policy = Chorus_sched.Policy.parent) ?(seed = 42) ?trace
+    ?(max_events = 200_000_000) machine =
+  { machine; policy; seed; trace; max_events }
+
+let engine_config (c : config) : Engine.config =
+  { Engine.machine = c.machine;
+    policy = c.policy;
+    seed = c.seed;
+    trace = c.trace;
+    max_events = c.max_events }
+
+let run cfg main =
+  let eng = Engine.create (engine_config cfg) in
+  Engine.run eng main;
+  Runstats.of_engine eng
+
+let run_result cfg main =
+  let result = ref None in
+  let stats = run cfg (fun () -> result := Some (main ())) in
+  match !result with
+  | Some v -> (v, stats)
+  | None -> assert false

@@ -1,0 +1,29 @@
+(** Entry point: configure a simulated machine, run a program on it,
+    collect statistics. *)
+
+type config = {
+  machine : Chorus_machine.Machine.t;
+  policy : Chorus_sched.Policy.t;
+  seed : int;
+  trace : Trace.sink option;
+  max_events : int;
+}
+
+val config :
+  ?policy:Chorus_sched.Policy.t ->
+  ?seed:int ->
+  ?trace:Trace.sink ->
+  ?max_events:int ->
+  Chorus_machine.Machine.t ->
+  config
+(** Defaults: parent placement, seed 42, no trace, 200M-event cap. *)
+
+val run : config -> (unit -> unit) -> Runstats.t
+(** [run cfg main] executes [main] as the initial fiber on core 0 of a
+    fresh engine and returns the run's statistics once every
+    (non-daemon) fiber has finished.  Raises {!Engine.Deadlock} when
+    progress stops with blocked fibers, and re-raises an exception that
+    crashed the main fiber. *)
+
+val run_result : config -> (unit -> 'a) -> 'a * Runstats.t
+(** Like {!run} but also returns the value computed by [main]. *)

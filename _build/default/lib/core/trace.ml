@@ -1,0 +1,35 @@
+type event =
+  | Spawn of { child : int; on_core : int }
+  | Exit of { status : string }
+  | Block of { on : string }
+  | Wake
+  | Send of { chan : int; words : int; remote : bool }
+  | Recv of { chan : int }
+  | Steal of { victim_core : int; fiber : int }
+  | Custom of string
+
+type record = { time : int; core : int; fiber : int; event : event }
+
+type sink = record -> unit
+
+let collector () =
+  let buf = ref [] in
+  let sink r = buf := r :: !buf in
+  (sink, fun () -> List.rev !buf)
+
+let pp_event ppf = function
+  | Spawn { child; on_core } ->
+    Format.fprintf ppf "spawn child=%d core=%d" child on_core
+  | Exit { status } -> Format.fprintf ppf "exit %s" status
+  | Block { on } -> Format.fprintf ppf "block on=%s" on
+  | Wake -> Format.pp_print_string ppf "wake"
+  | Send { chan; words; remote } ->
+    Format.fprintf ppf "send chan=%d words=%d remote=%b" chan words remote
+  | Recv { chan } -> Format.fprintf ppf "recv chan=%d" chan
+  | Steal { victim_core; fiber } ->
+    Format.fprintf ppf "steal victim=%d fiber=%d" victim_core fiber
+  | Custom s -> Format.pp_print_string ppf s
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%8d c%02d f%03d] %a" r.time r.core r.fiber pp_event
+    r.event

@@ -1,0 +1,31 @@
+(** Execution tracing.
+
+    When a sink is installed in the runtime config, the engine emits
+    one record per scheduling-relevant action.  Tests use this to
+    assert ordering properties (e.g. a driver fiber never interleaves
+    two requests); the CLI can dump traces for debugging. *)
+
+type event =
+  | Spawn of { child : int; on_core : int }
+  | Exit of { status : string }
+  | Block of { on : string }
+  | Wake
+  | Send of { chan : int; words : int; remote : bool }
+  | Recv of { chan : int }
+  | Steal of { victim_core : int; fiber : int }
+  | Custom of string
+
+type record = {
+  time : int;  (** virtual cycles *)
+  core : int;
+  fiber : int;
+  event : event;
+}
+
+type sink = record -> unit
+
+val collector : unit -> sink * (unit -> record list)
+(** [collector ()] returns a sink that appends to an in-memory buffer
+    and a function retrieving the records in emission order. *)
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/experiments/e01_primitives.ml: Chorus Exp_common Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e02_syscalls.ml: Array Chorus Chorus_baseline Exp_common List Printf Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e03_scaling.ml: Chorus Chorus_baseline Chorus_kernel Chorus_workload Exp_common List Printf Tablefmt

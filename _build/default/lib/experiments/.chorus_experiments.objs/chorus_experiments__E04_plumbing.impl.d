@@ -1,0 +1,1 @@
+lib/experiments/e04_plumbing.ml: Chorus_baseline Chorus_kernel Chorus_workload Exp_common List Tablefmt

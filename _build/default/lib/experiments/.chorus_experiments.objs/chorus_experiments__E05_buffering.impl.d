@@ -1,0 +1,1 @@
+lib/experiments/e05_buffering.ml: Chorus_util Chorus_workload Exp_common List Tablefmt

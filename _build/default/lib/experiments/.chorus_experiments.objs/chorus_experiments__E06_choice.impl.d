@@ -1,0 +1,1 @@
+lib/experiments/e06_choice.ml: Array Chorus Exp_common List Runstats Tablefmt

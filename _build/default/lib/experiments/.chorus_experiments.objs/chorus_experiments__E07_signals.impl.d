@@ -1,0 +1,1 @@
+lib/experiments/e07_signals.ml: Chorus Chorus_baseline Chorus_util Exp_common Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e08_placement.ml: Chorus Chorus_sched Chorus_workload Exp_common List Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e09_granularity.ml: Chorus Chorus_kernel Exp_common List Printf Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e10_supervision.ml: Array Chorus Chorus_kernel Chorus_util Chorus_workload Exp_common List Printf Tablefmt

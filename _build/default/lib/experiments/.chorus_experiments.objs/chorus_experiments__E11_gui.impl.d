@@ -1,0 +1,1 @@
+lib/experiments/e11_gui.ml: Chorus_util Chorus_workload Exp_common Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e12_libos.ml: Chorus_kernel Chorus_workload Exp_common Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e13_mapred.ml: Chorus_workload Exp_common List Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e14_verification.ml: Chorus Chorus_proto Exp_common List Printf String Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/e16_topology.ml: Chorus_kernel Chorus_machine Chorus_workload Exp_common List Machine Runstats Tablefmt

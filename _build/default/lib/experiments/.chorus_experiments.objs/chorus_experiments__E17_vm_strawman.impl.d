@@ -1,0 +1,1 @@
+lib/experiments/e17_vm_strawman.ml: Array Chorus Chorus_baseline Chorus_fsspec Chorus_kernel Chorus_net Chorus_util Exp_common Hashtbl List Printf String Tablefmt

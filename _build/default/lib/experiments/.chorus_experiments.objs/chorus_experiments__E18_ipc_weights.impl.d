@@ -1,0 +1,1 @@
+lib/experiments/e18_ipc_weights.ml: Chorus Chorus_baseline Exp_common List Runstats Tablefmt

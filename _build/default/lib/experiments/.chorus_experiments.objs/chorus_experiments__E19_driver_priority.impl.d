@@ -1,0 +1,1 @@
+lib/experiments/e19_driver_priority.ml: Chorus Chorus_kernel Chorus_machine Chorus_util Exp_common List Runstats Tablefmt

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Chorus Chorus_machine Chorus_sched Chorus_util

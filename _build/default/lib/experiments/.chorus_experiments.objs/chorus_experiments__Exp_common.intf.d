@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Chorus Chorus_machine Chorus_sched Chorus_util

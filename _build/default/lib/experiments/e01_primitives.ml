@@ -1,0 +1,121 @@
+(* E1 — "sending a message is an action comparable in scope to making a
+   procedure call" (Section 3).
+
+   Measures the cycle cost of each primitive by running N back-to-back
+   operations and dividing the elapsed virtual time.  Message costs are
+   reported at three distances (same core, neighbouring cores, opposite
+   mesh corners) and as a multiple of the procedure call. *)
+
+open Exp_common
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+let n_ops ~quick = pick ~quick 2_000 20_000
+
+(* cycles per iteration of [body], baseline-corrected by an empty loop *)
+let per_op ~cores ~seed setup =
+  let (), stats =
+    run ~seed ~cores (fun () -> setup ())
+  in
+  stats.Runstats.makespan
+
+let bench_loop n body =
+  for _ = 1 to n do
+    body ()
+  done
+
+let pingpong ~quick ~on_a ~on_b ~capacity cores =
+  (* cycles per message for a ping-pong pair at a given distance *)
+  let n = n_ops ~quick in
+  let make () =
+    if capacity = 0 then Chan.rendezvous () else Chan.buffered capacity
+  in
+  let elapsed =
+    per_op ~cores ~seed:1 (fun () ->
+        let req = make () and resp = make () in
+        let _echo =
+          Fiber.spawn ~on:on_b ~daemon:true (fun () ->
+              let rec loop () =
+                let v = Chan.recv req in
+                Chan.send resp v;
+                loop ()
+              in
+              loop ())
+        in
+        let f =
+          Fiber.spawn ~on:on_a (fun () ->
+              bench_loop n (fun () ->
+                  Chan.send req 1;
+                  ignore (Chan.recv resp)))
+        in
+        ignore (Fiber.join f))
+  in
+  (* two messages per round trip *)
+  float_of_int elapsed /. float_of_int (2 * n)
+
+let run ~quick ~seed =
+  ignore seed;
+  let n = n_ops ~quick in
+  let cores = 64 in
+  (* procedure call *)
+  let call_cost =
+    let elapsed =
+      per_op ~cores ~seed:1 (fun () ->
+          bench_loop n (fun () -> Fiber.call (fun () -> ())))
+    in
+    float_of_int elapsed /. float_of_int n
+  in
+  (* spawn + join of a trivial fiber *)
+  let spawn_cost =
+    let elapsed =
+      per_op ~cores ~seed:1 (fun () ->
+          bench_loop (n / 10) (fun () ->
+              ignore (Fiber.join (Fiber.spawn ~on:0 (fun () -> ())))))
+    in
+    float_of_int elapsed /. float_of_int (n / 10)
+  in
+  let rendezvous_local = pingpong ~quick ~on_a:0 ~on_b:0 ~capacity:0 cores in
+  let rendezvous_near = pingpong ~quick ~on_a:0 ~on_b:1 ~capacity:0 cores in
+  let rendezvous_far = pingpong ~quick ~on_a:0 ~on_b:(cores - 1) ~capacity:0 cores in
+  let buffered_near = pingpong ~quick ~on_a:0 ~on_b:1 ~capacity:16 cores in
+  (* one-way buffered stream (sender never waits) *)
+  let stream_cost =
+    let elapsed =
+      per_op ~cores ~seed:1 (fun () ->
+          let c = Chan.buffered 64 in
+          let consumer =
+            Fiber.spawn ~on:1 (fun () ->
+                for _ = 1 to n do
+                  ignore (Chan.recv c)
+                done)
+          in
+          let producer =
+            Fiber.spawn ~on:0 (fun () ->
+                for i = 1 to n do
+                  Chan.send c i
+                done)
+          in
+          ignore (Fiber.join producer);
+          ignore (Fiber.join consumer))
+    in
+    float_of_int elapsed /. float_of_int n
+  in
+  let t =
+    Tablefmt.create ~title:"E1: primitive costs (cycles per operation)"
+      ~columns:
+        [ ("primitive", Tablefmt.Left);
+          ("cycles/op", Tablefmt.Right);
+          ("x call", Tablefmt.Right) ]
+  in
+  let row name v =
+    Tablefmt.add_row t
+      [ name; Tablefmt.cell_float v; Tablefmt.cell_float (v /. call_cost) ]
+  in
+  row "procedure call" call_cost;
+  row "rendezvous msg (same core)" rendezvous_local;
+  row "rendezvous msg (1 hop)" rendezvous_near;
+  row "rendezvous msg (far corner)" rendezvous_far;
+  row "buffered msg rtt/2 (1 hop)" buffered_near;
+  row "buffered stream (1 hop)" stream_cost;
+  row "fiber spawn+join" spawn_cost;
+  [ t ]

@@ -1,0 +1,89 @@
+(* E4 — channel plumbing (Section 3): "plumb a connection by passing
+   around a channel to be used to carry data, and then afterwards move
+   the data directly to its destination by a single send operation."
+
+   Per-operation mean latency at 64 cores for three syscall paths:
+   message kernel with plumbed file handles (data ops go straight to
+   the vnode), message kernel with dispatcher routing (every op takes
+   an extra kernel-entry hop), and the trap+locks baseline. *)
+
+open Exp_common
+module Fsload = Chorus_workload.Fsload
+module Msgvfs = Chorus_kernel.Msgvfs
+module Kernel = Chorus_kernel.Kernel
+module Shvfs = Chorus_baseline.Shvfs
+
+module Msg_load = Fsload.Make (Msgvfs)
+module Sh_load = Fsload.Make (Shvfs)
+
+let cores = 64
+
+let load_config ~quick ~seed =
+  { Fsload.default_config with
+    clients = 32;
+    ops_per_client = pick ~quick 60 400;
+    files = 96;
+    dirs = 12;
+    io_size = 1024;
+    theta = 0.6;
+    think = 100;
+    seed }
+
+let msg_result ~plumbing ~quick ~seed =
+  let cfg = load_config ~quick ~seed in
+  let result, _ =
+    run ~seed ~cores (fun () ->
+        let kern =
+          Kernel.boot
+            { Kernel.default_config with
+              fs = { Msgvfs.plumbing; dispatchers = 8 } }
+        in
+        Msg_load.setup (Kernel.fs_client kern) cfg;
+        Msg_load.run_clients (fun _ -> Kernel.fs_client kern) cfg)
+  in
+  result
+
+let lock_result ~quick ~seed =
+  let cfg = load_config ~quick ~seed in
+  let result, _ =
+    run ~seed ~cores (fun () ->
+        let sys = Shvfs.make Shvfs.default_config in
+        Sh_load.setup (Shvfs.client sys) cfg;
+        Sh_load.run_clients (fun _ -> Shvfs.client sys) cfg)
+  in
+  result
+
+let ops = [ "read"; "write"; "stat"; "create" ]
+
+let mean_for result name =
+  match List.assoc_opt name result.Fsload.per_op with
+  | Some h -> mean_cycles h
+  | None -> nan
+
+let run ~quick ~seed =
+  let plumbed = msg_result ~plumbing:true ~quick ~seed in
+  let routed = msg_result ~plumbing:false ~quick ~seed in
+  let locked = lock_result ~quick ~seed in
+  let t =
+    Tablefmt.create
+      ~title:"E4: mean op latency (cycles) at 64 cores, 32 clients"
+      ~columns:
+        [ ("op", Tablefmt.Left);
+          ("msg plumbed", Tablefmt.Right);
+          ("msg dispatched", Tablefmt.Right);
+          ("lock kernel", Tablefmt.Right);
+          ("plumb gain", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let p = mean_for plumbed name in
+      let r = mean_for routed name in
+      let l = mean_for locked name in
+      Tablefmt.add_row t
+        [ name;
+          Tablefmt.cell_float p;
+          Tablefmt.cell_float r;
+          Tablefmt.cell_float l;
+          Tablefmt.cell_float (r /. p) ])
+    ops;
+  [ t ]

@@ -1,0 +1,78 @@
+(* E6 — "Implementing choice effectively is always somewhat difficult"
+   (Section 5).
+
+   A fan-in server selects over k producer channels.  Two
+   implementations of choice are compared as k grows: CML-style
+   one-shot commitment (block once, first ready partner wins) and naive
+   periodic re-polling.  Poll burns cycles while idle and adds half the
+   poll interval of latency; commit pays a per-case registration cost.
+   Reported: cycles per message and total busy cycles per message
+   (the wasted-work signal). *)
+
+open Exp_common
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+let fanin ~strategy ~k ~msgs_per_producer ~gap ~seed =
+  let (), stats =
+    run ~seed ~cores:64 (fun () ->
+        let chans = Array.init k (fun _ -> Chan.buffered 4) in
+        let total = k * msgs_per_producer in
+        let server =
+          Fiber.spawn ~on:0 ~label:"fanin-server" (fun () ->
+              for _ = 1 to total do
+                let v =
+                  Chan.choose ?strategy
+                    (Array.to_list
+                       (Array.map (fun c -> Chan.recv_case c (fun v -> v))
+                          chans))
+                in
+                ignore v;
+                Fiber.work 50
+              done)
+        in
+        let producers =
+          List.init k (fun i ->
+              Fiber.spawn ~on:(1 + (i mod 63)) (fun () ->
+                  for m = 1 to msgs_per_producer do
+                    Fiber.work gap;
+                    Chan.send chans.(i) m
+                  done))
+        in
+        List.iter (fun f -> ignore (Fiber.join f)) producers;
+        ignore (Fiber.join server))
+  in
+  let total = k * msgs_per_producer in
+  let busy = Array.fold_left ( + ) 0 stats.Runstats.busy in
+  (float_of_int stats.Runstats.makespan /. float_of_int total,
+   float_of_int busy /. float_of_int total)
+
+let run ~quick ~seed =
+  let msgs = pick ~quick 100 600 in
+  let t =
+    Tablefmt.create
+      ~title:"E6: fan-in choice over k channels, commit vs poll(500cyc)"
+      ~columns:
+        [ ("k", Tablefmt.Right);
+          ("commit cyc/msg", Tablefmt.Right);
+          ("poll cyc/msg", Tablefmt.Right);
+          ("commit busy/msg", Tablefmt.Right);
+          ("poll busy/msg", Tablefmt.Right) ]
+  in
+  List.iter
+    (fun k ->
+      let c_lat, c_busy =
+        fanin ~strategy:None ~k ~msgs_per_producer:msgs ~gap:800 ~seed
+      in
+      let p_lat, p_busy =
+        fanin ~strategy:(Some (Chan.Poll 500)) ~k ~msgs_per_producer:msgs
+          ~gap:800 ~seed
+      in
+      Tablefmt.add_row t
+        [ string_of_int k;
+          Tablefmt.cell_float c_lat;
+          Tablefmt.cell_float p_lat;
+          Tablefmt.cell_float c_busy;
+          Tablefmt.cell_float p_busy ])
+    [ 2; 4; 8; 16; 32; 64 ];
+  [ t ]

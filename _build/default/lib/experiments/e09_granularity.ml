@@ -1,0 +1,71 @@
+(* E9 — too much parallelism (Section 5): "one might build a virtual
+   memory system with a thread for every page of physical memory in the
+   system; that would produce too many threads no matter how many cores
+   are available.  The risk is that there may be no clean intermediate
+   design points between too many and too few threads."
+
+   The VM service's pages-per-manager granularity is swept from 1
+   (thread per page, pathological) to all pages in one manager (fully
+   centralized).  16 fault-storm clients touch every page.  The U-curve
+   — and how broad its bottom is — answers the paper's worry. *)
+
+open Exp_common
+module Fiber = Chorus.Fiber
+module Vmserv = Chorus_kernel.Vmserv
+
+let run_one ~seed ~pages granularity =
+  let clients = 16 in
+  let (_managers : int), stats =
+    run ~seed ~cores:64 (fun () ->
+        let vm =
+          Vmserv.start ~pages_per_manager:granularity ~pages ~frames:pages ()
+        in
+        let per_client = pages / clients in
+        let fibers =
+          List.init clients (fun c ->
+              Fiber.spawn (fun () ->
+                  for i = 0 to per_client - 1 do
+                    (* strided so clients hit all managers *)
+                    let page = ((i * clients) + c) mod pages in
+                    (match Vmserv.fault vm page with
+                    | `Mapped | `Already -> ()
+                    | `Oom -> failwith "unexpected OOM");
+                    Fiber.work 100
+                  done))
+        in
+        List.iter (fun f -> ignore (Fiber.join f)) fibers;
+        Vmserv.managers vm)
+  in
+  stats
+
+let run ~quick ~seed =
+  let pages = pick ~quick 4_096 16_384 in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "E9: VM fault storm (%d pages, 16 clients) vs service granularity"
+           pages)
+      ~columns:
+        [ ("pages/manager", Tablefmt.Right);
+          ("manager fibers", Tablefmt.Right);
+          ("makespan", Tablefmt.Right);
+          ("util %", Tablefmt.Right) ]
+  in
+  let emit g =
+    let stats = run_one ~seed ~pages g in
+    Tablefmt.add_row t
+      [ string_of_int g;
+        string_of_int ((pages + g - 1) / g);
+        string_of_int stats.Runstats.makespan;
+        Tablefmt.cell_float (100.0 *. stats.Runstats.utilization) ]
+  in
+  let rec sweep g =
+    if g < pages then begin
+      emit g;
+      sweep (g * 4)
+    end
+    else emit pages
+  in
+  sweep 1;
+  [ t ]

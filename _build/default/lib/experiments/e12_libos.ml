@@ -1,0 +1,73 @@
+(* E12 — the aggressive design (Section 4): applications on bare cores
+   with service code linked in libOS fashion, vs the conservative
+   message-kernel syscall path, vs the dispatcher-routed conservative
+   variant.
+
+   One syscall-heavy application (small ops, no think time).  The libOS
+   pays procedure-call prices but gives up cross-application sharing;
+   the message paths pay per-op messages. *)
+
+open Exp_common
+module Fsload = Chorus_workload.Fsload
+module Msgvfs = Chorus_kernel.Msgvfs
+module Kernel = Chorus_kernel.Kernel
+module Libos = Chorus_kernel.Libos
+
+module Msg_load = Fsload.Make (Msgvfs)
+module Lib_load = Fsload.Make (Libos)
+
+let load ~quick ~seed =
+  { Fsload.default_config with
+    clients = 1;
+    ops_per_client = pick ~quick 300 3_000;
+    files = 32;
+    dirs = 4;
+    file_size = 4096;
+    io_size = 128;
+    theta = 0.0;
+    think = 0;
+    seed }
+
+let msg_run ~plumbing ~quick ~seed =
+  let cfg = load ~quick ~seed in
+  let result, stats =
+    run ~seed ~cores:16 (fun () ->
+        let kern =
+          Kernel.boot
+            { Kernel.default_config with
+              fs = { Msgvfs.plumbing; dispatchers = 2 } }
+        in
+        Msg_load.setup (Kernel.fs_client kern) cfg;
+        Msg_load.run_clients (fun _ -> Kernel.fs_client kern) cfg)
+  in
+  (result, stats)
+
+let libos_run ~quick ~seed =
+  let cfg = load ~quick ~seed in
+  let result, stats =
+    run ~seed ~cores:16 (fun () ->
+        let fs = Libos.make () in
+        Lib_load.setup fs cfg;
+        Lib_load.run_clients (fun _ -> fs) cfg)
+  in
+  (result, stats)
+
+let run ~quick ~seed =
+  let t =
+    Tablefmt.create
+      ~title:"E12: libOS (aggressive) vs message syscalls (conservative)"
+      ~columns:
+        [ ("design", Tablefmt.Left);
+          ("ops/Mcyc", Tablefmt.Right);
+          ("mean op latency", Tablefmt.Right) ]
+  in
+  let row name ((result : Fsload.result), _stats) =
+    Tablefmt.add_row t
+      [ name;
+        Tablefmt.cell_float (Fsload.throughput result);
+        Tablefmt.cell_float (mean_cycles result.Fsload.latency) ]
+  in
+  row "libOS (linked, bare core)" (libos_run ~quick ~seed);
+  row "msg kernel, plumbed" (msg_run ~plumbing:true ~quick ~seed);
+  row "msg kernel, dispatched" (msg_run ~plumbing:false ~quick ~seed);
+  [ t ]

@@ -1,0 +1,44 @@
+(* E13 — shared-nothing scaling (Section 1): "Moving to the cloud, we
+   also find that Map/Reduce is based on a shared-nothing model."
+
+   The same word count over a core sweep, message shuffle vs shared
+   hash table under sharded locks.  Both produce identical results
+   (asserted); the scaling curves differ. *)
+
+open Exp_common
+module Mapred = Chorus_workload.Mapred
+
+let config ~quick ~cores ~seed =
+  { Mapred.chunks = max 8 (2 * cores);
+    words_per_chunk = pick ~quick 120 500;
+    vocabulary = 300;
+    reducers = max 2 (cores / 4);
+    lock_shards = max 2 (cores / 4);
+    seed }
+
+let run ~quick ~seed =
+  let t =
+    Tablefmt.create
+      ~title:"E13: map/reduce word count, messages vs shared memory"
+      ~columns:
+        [ ("cores", Tablefmt.Right);
+          ("msg makespan", Tablefmt.Right);
+          ("shared makespan", Tablefmt.Right);
+          ("msg/shared", Tablefmt.Right);
+          ("results equal", Tablefmt.Left) ]
+  in
+  List.iter
+    (fun cores ->
+      let cfg = config ~quick ~cores ~seed in
+      let mr, ms = run ~seed ~cores (fun () -> Mapred.run_messages cfg) in
+      let sr, ss = run ~seed ~cores (fun () -> Mapred.run_shared cfg) in
+      Tablefmt.add_row t
+        [ string_of_int cores;
+          string_of_int ms.Runstats.makespan;
+          string_of_int ss.Runstats.makespan;
+          Tablefmt.cell_float
+            (float_of_int ms.Runstats.makespan
+            /. float_of_int ss.Runstats.makespan);
+          (if mr = sr then "yes" else "NO!") ])
+    (List.filter (fun c -> c >= 4) (core_sweep ~quick));
+  [ t ]

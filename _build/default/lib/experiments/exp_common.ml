@@ -1,0 +1,29 @@
+module Machine = Chorus_machine.Machine
+module Policy = Chorus_sched.Policy
+module Tablefmt = Chorus_util.Tablefmt
+module Histogram = Chorus_util.Histogram
+module Runstats = Chorus.Runstats
+module Runtime = Chorus.Runtime
+
+let machine ?(hw = false) cores =
+  if hw then Machine.mesh_hw ~cores else Machine.mesh ~cores
+
+let run_machine ?policy ?(seed = 42) m main =
+  let policy =
+    match policy with Some p -> p | None -> Policy.round_robin ()
+  in
+  Runtime.run_result (Runtime.config ~policy ~seed m) main
+
+let run ?policy ?seed ?hw ~cores main =
+  run_machine ?policy ?seed (machine ?hw cores) main
+
+let pick ~quick q f = if quick then q else f
+
+let ops_per_mcycle stats ops = Runstats.throughput stats ~ops
+
+let mean_cycles h = Histogram.mean h
+
+let core_sweep ~quick =
+  let top = if quick then 256 else 1024 in
+  let rec go c = if c > top then [] else c :: go (c * 2) in
+  go 1

@@ -1,0 +1,32 @@
+(** Shared plumbing for the experiment harnesses. *)
+
+module Machine = Chorus_machine.Machine
+module Policy = Chorus_sched.Policy
+module Tablefmt = Chorus_util.Tablefmt
+module Histogram = Chorus_util.Histogram
+module Runstats = Chorus.Runstats
+
+val machine : ?hw:bool -> int -> Machine.t
+(** Mesh machine with [cores] cores; [hw] selects the
+    hardware-message-support cost preset. *)
+
+val run :
+  ?policy:Policy.t -> ?seed:int -> ?hw:bool -> cores:int ->
+  (unit -> 'a) -> 'a * Runstats.t
+(** Run a program on a fresh engine (round-robin placement by
+    default — experiments want spreading unless stated). *)
+
+val run_machine :
+  ?policy:Policy.t -> ?seed:int -> Machine.t -> (unit -> 'a) ->
+  'a * Runstats.t
+(** As {!run} but on an explicit machine (topology/cost ablations). *)
+
+val pick : quick:bool -> int -> int -> int
+(** [pick ~quick q f] is [q] in quick mode, [f] in full mode. *)
+
+val ops_per_mcycle : Runstats.t -> int -> float
+
+val mean_cycles : Chorus_util.Histogram.t -> float
+
+val core_sweep : quick:bool -> int list
+(** 1..1024 powers of two (1..256 in quick mode). *)

@@ -1,0 +1,17 @@
+(** Registry of all experiments (the paper's would-be tables and
+    figures; see DESIGN.md Section 3 for the claim index). *)
+
+type t = {
+  id : string;  (** "e1" .. "e14" *)
+  title : string;
+  claim : string;  (** the paper sentence the experiment tests *)
+  run : quick:bool -> seed:int -> Chorus_util.Tablefmt.t list;
+}
+
+val all : t list
+
+val find : string -> t option
+(** Lookup by id, case-insensitive. *)
+
+val run_and_print : ?quick:bool -> ?seed:int -> t -> unit
+(** Run one experiment and print its tables to stdout with timing. *)

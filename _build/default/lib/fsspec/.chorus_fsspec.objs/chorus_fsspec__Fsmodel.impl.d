@@ -1,0 +1,1 @@
+lib/fsspec/fsmodel.ml: Buffer Fsspec Hashtbl List String

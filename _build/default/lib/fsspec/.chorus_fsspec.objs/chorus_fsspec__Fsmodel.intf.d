@@ -1,0 +1,1 @@
+lib/fsspec/fsmodel.mli: Fsspec

@@ -1,0 +1,1 @@
+lib/fsspec/fsspec.mli:

@@ -1,0 +1,151 @@
+type node = Dir_node of (string, node) Hashtbl.t | File_node of Buffer.t
+
+type t = {
+  root : (string, node) Hashtbl.t;
+  fds : (int, Buffer.t) Hashtbl.t;
+  mutable next_fd : int;
+}
+
+let make () = { root = Hashtbl.create 8; fds = Hashtbl.create 8; next_fd = 3 }
+
+let rec walk dir = function
+  | [] -> Ok (Dir_node dir)
+  | name :: rest -> (
+    match Hashtbl.find_opt dir name with
+    | None -> Error Fsspec.Enoent
+    | Some (File_node _ as f) ->
+      if rest = [] then Ok f else Error Fsspec.Enotdir
+    | Some (Dir_node d as n) -> if rest = [] then Ok n else walk d rest)
+
+let resolve t path =
+  match Fsspec.split_path path with
+  | Error e -> Error e
+  | Ok comps -> walk t.root comps
+
+let resolve_parent t path =
+  match Fsspec.split_path path with
+  | Error e -> Error e
+  | Ok [] -> Error Fsspec.Einval
+  | Ok comps ->
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | c :: rest -> split_last (c :: acc) rest
+    in
+    let parents, name = split_last [] comps in
+    (match walk t.root parents with
+    | Ok (Dir_node d) -> Ok (d, name)
+    | Ok (File_node _) -> Error Fsspec.Enotdir
+    | Error e -> Error e)
+
+let make_node t path node =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (dir, name) ->
+    if Hashtbl.mem dir name then Error Fsspec.Eexist
+    else begin
+      Hashtbl.replace dir name node;
+      Ok ()
+    end
+
+let mkdir t path = make_node t path (Dir_node (Hashtbl.create 8))
+
+let create t path = make_node t path (File_node (Buffer.create 16))
+
+let open_ t path =
+  match resolve t path with
+  | Error e -> Error e
+  | Ok (Dir_node _) -> Error Fsspec.Eisdir
+  | Ok (File_node b) ->
+    let fd = t.next_fd in
+    t.next_fd <- fd + 1;
+    Hashtbl.replace t.fds fd b;
+    Ok fd
+
+let close t fd =
+  if Hashtbl.mem t.fds fd then begin
+    Hashtbl.remove t.fds fd;
+    Ok ()
+  end
+  else Error Fsspec.Ebadf
+
+let read t fd ~off ~len =
+  if off < 0 || len < 0 then Error Fsspec.Einval
+  else
+    match Hashtbl.find_opt t.fds fd with
+    | None -> Error Fsspec.Ebadf
+    | Some b ->
+      let size = Buffer.length b in
+      let off = min off size in
+      let len = max 0 (min len (size - off)) in
+      Ok (Buffer.sub b off len)
+
+let write t fd ~off data =
+  if off < 0 then Error Fsspec.Einval
+  else
+    match Hashtbl.find_opt t.fds fd with
+    | None -> Error Fsspec.Ebadf
+    | Some b ->
+      let size = Buffer.length b in
+      let current = Buffer.contents b in
+      Buffer.clear b;
+      (* keep prefix, pad a hole with zeroes, splice in the data *)
+      if off <= size then Buffer.add_string b (String.sub current 0 off)
+      else begin
+        Buffer.add_string b current;
+        Buffer.add_string b (String.make (off - size) '\000')
+      end;
+      Buffer.add_string b data;
+      let tail = off + String.length data in
+      if tail < size then
+        Buffer.add_string b (String.sub current tail (size - tail));
+      Ok (String.length data)
+
+let stat t path =
+  match resolve t path with
+  | Error e -> Error e
+  | Ok (Dir_node d) ->
+    Ok { Fsspec.kind = Fsspec.Dir; size = Hashtbl.length d; blocks = 0 }
+  | Ok (File_node b) ->
+    let size = Buffer.length b in
+    Ok
+      { Fsspec.kind = Fsspec.File;
+        size;
+        blocks = (size + Fsspec.block_size - 1) / Fsspec.block_size }
+
+let unlink t path =
+  match resolve_parent t path with
+  | Error e -> Error e
+  | Ok (dir, name) -> (
+    match Hashtbl.find_opt dir name with
+    | None -> Error Fsspec.Enoent
+    | Some (Dir_node d) when Hashtbl.length d > 0 -> Error Fsspec.Enotempty
+    | Some (Dir_node _ | File_node _) ->
+      Hashtbl.remove dir name;
+      Ok ())
+
+let rename t src dst =
+  if Fsspec.path_inside ~src ~dst then Error Fsspec.Einval
+  else
+    match resolve_parent t src with
+    | Error e -> Error e
+    | Ok (sdir, sname) -> (
+      match Hashtbl.find_opt sdir sname with
+      | None -> Error Fsspec.Enoent
+      | Some node -> (
+        match resolve_parent t dst with
+        | Error e -> Error e
+        | Ok (ddir, dname) ->
+          if Hashtbl.mem ddir dname then Error Fsspec.Eexist
+          else begin
+            Hashtbl.remove sdir sname;
+            Hashtbl.replace ddir dname node;
+            Ok ()
+          end))
+
+let readdir t path =
+  match resolve t path with
+  | Error e -> Error e
+  | Ok (File_node _) -> Error Fsspec.Enotdir
+  | Ok (Dir_node d) ->
+    Ok (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) d []))

@@ -1,0 +1,12 @@
+(** Pure in-memory reference implementation of {!Fsspec.S}.
+
+    The executable specification: no costs, no concurrency, no blocks —
+    just the semantics.  Model-based tests drive random operation
+    sequences through this model and through each kernel's VFS and
+    require identical answers. *)
+
+type t
+
+val make : unit -> t
+
+include Fsspec.S with type t := t

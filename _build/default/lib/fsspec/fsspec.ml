@@ -1,0 +1,81 @@
+type err =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Enotempty
+  | Ebadf
+  | Enospc
+  | Einval
+
+type kind = File | Dir
+
+type stat = { kind : kind; size : int; blocks : int }
+
+type fd = int
+
+module type S = sig
+  type t
+
+  val mkdir : t -> string -> (unit, err) result
+
+  val create : t -> string -> (unit, err) result
+
+  val open_ : t -> string -> (fd, err) result
+
+  val close : t -> fd -> (unit, err) result
+
+  val read : t -> fd -> off:int -> len:int -> (string, err) result
+
+  val write : t -> fd -> off:int -> string -> (int, err) result
+
+  val stat : t -> string -> (stat, err) result
+
+  val unlink : t -> string -> (unit, err) result
+
+  val rename : t -> string -> string -> (unit, err) result
+
+  val readdir : t -> string -> (string list, err) result
+end
+
+let err_to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Enotempty -> "ENOTEMPTY"
+  | Ebadf -> "EBADF"
+  | Enospc -> "ENOSPC"
+  | Einval -> "EINVAL"
+
+let split_path p =
+  if String.length p = 0 || p.[0] <> '/' then Error Einval
+  else begin
+    let parts = String.split_on_char '/' p in
+    (* leading '/' yields an empty first component; a trailing '/' an
+       empty last one, which we tolerate for directories *)
+    let rec clean = function
+      | [] -> Ok []
+      | [ "" ] -> Ok []
+      | "" :: _ -> Error Einval
+      | c :: rest -> (
+        match clean rest with Ok tl -> Ok (c :: tl) | Error e -> Error e)
+    in
+    match parts with
+    | "" :: rest -> clean rest
+    | _ -> Error Einval
+  end
+
+(* [dst] strictly inside [src]? compares component lists *)
+let path_inside ~src ~dst =
+  match (split_path src, split_path dst) with
+  | Ok s, Ok d ->
+    let rec prefix = function
+      | [], _ -> true
+      | _, [] -> false
+      | a :: s', b :: d' -> a = b && prefix (s', d')
+    in
+    prefix (s, d)
+  | _ -> false
+
+let block_size = 4096

@@ -1,0 +1,69 @@
+(** Filesystem interface shared by the message-passing kernel and the
+    lock-based baseline.
+
+    Both kernels expose exactly these operations with exactly these
+    semantics, so workloads drive either through one code path and
+    tests can check both against the same reference model.  Handles
+    ([fd]) are per-client small integers; path syntax is absolute,
+    ['/']-separated. *)
+
+type err =
+  | Enoent  (** path component missing *)
+  | Eexist  (** create/mkdir target exists *)
+  | Enotdir  (** intermediate component is a file *)
+  | Eisdir  (** file operation on a directory *)
+  | Enotempty  (** unlink of a non-empty directory *)
+  | Ebadf  (** stale or invalid handle *)
+  | Enospc  (** out of blocks or inodes *)
+  | Einval
+
+type kind = File | Dir
+
+type stat = { kind : kind; size : int; blocks : int }
+
+type fd = int
+
+module type S = sig
+  type t
+  (** One client's view of a mounted filesystem. *)
+
+  val mkdir : t -> string -> (unit, err) result
+
+  val create : t -> string -> (unit, err) result
+  (** Create an empty regular file. *)
+
+  val open_ : t -> string -> (fd, err) result
+  (** Open an existing regular file. *)
+
+  val close : t -> fd -> (unit, err) result
+
+  val read : t -> fd -> off:int -> len:int -> (string, err) result
+  (** Short reads at EOF; empty string beyond it. *)
+
+  val write : t -> fd -> off:int -> string -> (int, err) result
+  (** Returns bytes written; extends the file as needed. *)
+
+  val stat : t -> string -> (stat, err) result
+
+  val unlink : t -> string -> (unit, err) result
+  (** Removes a file, or an empty directory. *)
+
+  val rename : t -> string -> string -> (unit, err) result
+  (** [rename t src dst] moves a file or directory; fails [Eexist]
+      when [dst] exists, [Einval] when [dst] would be inside [src]. *)
+
+  val readdir : t -> string -> (string list, err) result
+  (** Entry names, sorted. *)
+end
+
+val err_to_string : err -> string
+
+val split_path : string -> (string list, err) result
+(** ["/a/b"] -> [Ok ["a"; "b"]]; rejects relative and empty-component
+    paths.  [["/"]] is [Ok []]. *)
+
+val path_inside : src:string -> dst:string -> bool
+(** Is [dst] equal to or inside [src]?  (The rename cycle check.) *)
+
+val block_size : int
+(** Bytes per block, shared by both kernels' storage layers. *)

@@ -1,0 +1,1 @@
+lib/kernel/bcache.ml: Array Blockdev Bytes Chorus Chorus_fsspec Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/kernel/bcache.mli: Blockdev

@@ -1,0 +1,1 @@
+lib/kernel/blockdev.ml: Bytes Chorus Chorus_fsspec Chorus_machine Hashtbl

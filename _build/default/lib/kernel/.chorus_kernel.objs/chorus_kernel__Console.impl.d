@@ -1,0 +1,1 @@
+lib/kernel/console.ml: Chorus List String

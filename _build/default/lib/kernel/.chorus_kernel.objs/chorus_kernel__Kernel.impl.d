@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Bcache Blockdev Cgalloc Chorus_machine Console Msgvfs Notify Proc

@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bcache Blockdev Cgalloc Chorus_machine Console Msgvfs Notify Proc

@@ -1,0 +1,1 @@
+lib/kernel/libos.ml: Chorus_baseline Chorus_machine

@@ -1,0 +1,1 @@
+lib/kernel/libos.mli: Chorus_fsspec Chorus_machine

@@ -1,0 +1,1 @@
+lib/kernel/msgvfs.ml: Array Bcache Bytes Cgalloc Chorus Chorus_fsspec Hashtbl List Printf Result String

@@ -1,0 +1,1 @@
+lib/kernel/msgvfs.mli: Bcache Cgalloc Chorus_fsspec

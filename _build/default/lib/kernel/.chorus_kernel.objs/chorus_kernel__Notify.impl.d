@@ -1,0 +1,1 @@
+lib/kernel/notify.ml: Chorus List

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Chorus Hashtbl List Notify Option

@@ -1,0 +1,1 @@
+lib/kernel/sensors.ml: Chorus Notify

@@ -1,0 +1,1 @@
+lib/kernel/supervisor.ml: Array Chorus Hashtbl List

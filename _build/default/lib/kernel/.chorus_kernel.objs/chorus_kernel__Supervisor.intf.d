@@ -1,0 +1,1 @@
+lib/kernel/supervisor.mli: Chorus

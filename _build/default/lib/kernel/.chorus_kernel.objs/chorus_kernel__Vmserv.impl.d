@@ -1,0 +1,1 @@
+lib/kernel/vmserv.ml: Array Chorus Hashtbl Printf Queue

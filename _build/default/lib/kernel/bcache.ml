@@ -1,0 +1,159 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Rpc = Chorus.Rpc
+module Fsspec = Chorus_fsspec.Fsspec
+
+type req =
+  | Get of int
+  | Get_range of { block : int; off : int; len : int }
+  | Put of { block : int; off : int; data : string }
+  | Zero of int
+  | Flush
+
+type resp = Data of string | Done
+
+type shard_state = {
+  bufs : (int, buf) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+}
+
+and buf = { mutable data : bytes; mutable dirty : bool; mutable last_use : int }
+
+type t = {
+  eps : (req, resp) Rpc.endpoint array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let block_words = Fsspec.block_size / 8
+
+let lookup t st dev block =
+  st.tick <- st.tick + 1;
+  match Hashtbl.find_opt st.bufs block with
+  | Some b ->
+    t.hits <- t.hits + 1;
+    b.last_use <- st.tick;
+    b
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length st.bufs >= st.capacity then begin
+      (* evict LRU, writing back if dirty *)
+      let victim = ref None in
+      Hashtbl.iter
+        (fun blk b ->
+          match !victim with
+          | None -> victim := Some (blk, b)
+          | Some (_, vb) -> if b.last_use < vb.last_use then victim := Some (blk, b))
+        st.bufs;
+      match !victim with
+      | Some (blk, b) ->
+        if b.dirty then Blockdev.write dev blk b.data;
+        Hashtbl.remove st.bufs blk
+      | None -> ()
+    end;
+    let data = Blockdev.read dev block in
+    let b = { data; dirty = false; last_use = st.tick } in
+    Hashtbl.replace st.bufs block b;
+    b
+
+let serve_shard t st dev ep =
+  let rec loop () =
+    let req, reply = Chan.recv ep in
+    (match req with
+    | Get block ->
+      let b = lookup t st dev block in
+      Chan.send ~words:(2 + block_words) reply
+        (Data (Bytes.to_string b.data))
+    | Get_range { block; off; len } ->
+      let b = lookup t st dev block in
+      let len = max 0 (min len (Bytes.length b.data - off)) in
+      Chan.send
+        ~words:(2 + ((len + 7) / 8))
+        reply
+        (Data (Bytes.sub_string b.data off len))
+    | Put { block; off; data } ->
+      let b = lookup t st dev block in
+      Bytes.blit_string data 0 b.data off (String.length data);
+      b.dirty <- true;
+      Chan.send reply Done
+    | Zero block ->
+      st.tick <- st.tick + 1;
+      Hashtbl.replace st.bufs block
+        { data = Bytes.make Fsspec.block_size '\000'; dirty = true;
+          last_use = st.tick };
+      Chan.send reply Done
+    | Flush ->
+      Hashtbl.iter
+        (fun blk b ->
+          if b.dirty then begin
+            Blockdev.write dev blk b.data;
+            b.dirty <- false
+          end)
+        st.bufs;
+      Chan.send reply Done);
+    loop ()
+  in
+  loop ()
+
+let start ?(shards = 8) ?(capacity = 1024) ?(spread = true) ~dev () =
+  let t =
+    { eps =
+        Array.init shards (fun i ->
+            Rpc.endpoint ~label:(Printf.sprintf "bcache-%d" i) ());
+      hits = 0;
+      misses = 0 }
+  in
+  Array.iteri
+    (fun i ep ->
+      let st =
+        { bufs = Hashtbl.create 64; capacity = max 1 (capacity / shards);
+          tick = 0 }
+      in
+      let on = if spread then None else Some (Fiber.core (Fiber.self ())) in
+      ignore
+        (Fiber.spawn ?on ~label:(Printf.sprintf "bcache-%d" i) ~daemon:true
+           (fun () -> serve_shard t st dev ep)))
+    t.eps;
+  t
+
+let shard_for t block = t.eps.(block mod Array.length t.eps)
+
+let get t block =
+  match Rpc.call ~words:4 (shard_for t block) (Get block) with
+  | Data d -> d
+  | Done -> assert false
+
+let get_range t block ~off ~len =
+  match
+    Rpc.call ~words:5 (shard_for t block) (Get_range { block; off; len })
+  with
+  | Data d -> d
+  | Done -> assert false
+
+let put t block ~off data =
+  match
+    Rpc.call
+      ~words:(4 + ((String.length data + 7) / 8))
+      (shard_for t block)
+      (Put { block; off; data })
+  with
+  | Done -> ()
+  | Data _ -> assert false
+
+let zero t block =
+  match Rpc.call ~words:4 (shard_for t block) (Zero block) with
+  | Done -> ()
+  | Data _ -> assert false
+
+let flush t =
+  Array.iter
+    (fun ep ->
+      match Rpc.call ep Flush with Done -> () | Data _ -> assert false)
+    t.eps
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let shards t = Array.length t.eps

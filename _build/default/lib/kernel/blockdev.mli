@@ -1,0 +1,46 @@
+(** Single-fiber disk driver.
+
+    Paper Section 4: "it is also almost certainly desirable to give
+    each device driver its own, single, thread.  Drivers would receive
+    and queue requests from elsewhere in the kernel; the code to
+    process the requests can then be written as simple active
+    procedural code, with no need for further synchronization except to
+    wait for interrupts."
+
+    Exactly that: one fiber owns the device, requests arrive on its
+    endpoint, the body is straight-line code, and the device-busy
+    interval is a [sleep] (the completion wake-up standing in for the
+    interrupt).  No locks exist in this module because none are
+    needed. *)
+
+type req = Read of int | Write of int * bytes
+
+type resp = Data of bytes | Done
+
+type t
+
+val start :
+  ?label:string -> ?on:int -> ?priority:Chorus.Fiber.priority ->
+  disk:Chorus_machine.Diskmodel.t -> unit -> t
+(** Spawn the driver (a daemon fiber), optionally pinned to a core
+    and/or at interrupt-style [High] priority. *)
+
+val read : t -> int -> bytes
+(** [read t block] round-trips a read request; returns a copy of the
+    block (zero-filled when never written). *)
+
+val write : t -> int -> bytes -> unit
+
+val reads : t -> int
+
+val writes : t -> int
+
+val max_queue : t -> int
+(** High-water mark of the request queue, for utilization analysis. *)
+
+val max_concurrency : t -> int
+(** Requests being serviced simultaneously inside the driver body —
+    invariantly 1 for a single-threaded driver; tests assert it. *)
+
+val endpoint : t -> (req, resp) Chorus.Rpc.endpoint
+(** Raw endpoint for callers that pipeline requests themselves. *)

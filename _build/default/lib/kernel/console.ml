@@ -1,0 +1,26 @@
+module Fiber = Chorus.Fiber
+module Rpc = Chorus.Rpc
+
+type t = {
+  ep : (string, unit) Rpc.endpoint;
+  mutable lines : string list;  (** reversed *)
+  mutable count : int;
+}
+
+let start ?on ?(cycles_per_char = 2000) () =
+  let t = { ep = Rpc.endpoint ~label:"console" (); lines = []; count = 0 } in
+  ignore
+    (Fiber.spawn ?on ~label:"console" ~daemon:true (fun () ->
+         Rpc.serve t.ep (fun line ->
+             (* the device shifts characters out at line rate *)
+             Fiber.sleep (cycles_per_char * (String.length line + 1));
+             t.lines <- line :: t.lines;
+             t.count <- t.count + 1)));
+  t
+
+let write_line t line =
+  Rpc.call ~words:(2 + ((String.length line + 7) / 8)) t.ep line
+
+let output t = List.rev t.lines
+
+let lines_written t = t.count

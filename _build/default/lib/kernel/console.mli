@@ -1,0 +1,17 @@
+(** Console device driver: the second single-fiber driver (after
+    {!Blockdev}), showing the pattern generalizes — a serial-ish
+    device that emits characters at a fixed rate, driven entirely by
+    its own request loop. *)
+
+type t
+
+val start : ?on:int -> ?cycles_per_char:int -> unit -> t
+(** Default 2000 cycles/char (a ~1 MB/s console at 2 GHz). *)
+
+val write_line : t -> string -> unit
+(** Blocks the caller until the device has emitted the line. *)
+
+val output : t -> string list
+(** Everything written so far, oldest first (test oracle). *)
+
+val lines_written : t -> int

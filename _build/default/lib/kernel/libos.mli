@@ -1,0 +1,22 @@
+(** The aggressive design: applications on bare cores with a libOS.
+
+    Paper Section 4: "one might well run applications directly on a
+    bare core with no system services at all underneath.  If an
+    application wants e.g. virtual memory services ... it can provide
+    them itself or link with system-provided code in libOS fashion."
+
+    A libOS filesystem instance is service code linked {e into} the
+    application: operations are direct procedure calls on private
+    state — no traps (there is no kernel underneath), no messages (no
+    one to talk to), and trivially no lock contention (nothing is
+    shared).  The trade: no sharing between applications at all.
+    E12 prices this against conservative message syscalls. *)
+
+type t
+
+val make :
+  ?ninodes:int -> ?nblocks:int -> ?cache_blocks:int ->
+  ?disk:Chorus_machine.Diskmodel.t -> unit -> t
+(** A private filesystem for one application. *)
+
+include Chorus_fsspec.Fsspec.S with type t := t

@@ -1,0 +1,577 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Rpc = Chorus.Rpc
+module Fsspec = Chorus_fsspec.Fsspec
+
+type config = { plumbing : bool; dispatchers : int }
+
+let default_config = { plumbing = true; dispatchers = 4 }
+
+type attr = { akind : Fsspec.kind; asize : int; ablocks : int }
+
+(* The common vnode message protocol. *)
+type vreq =
+  | Lookup of string
+  | Make of string * Fsspec.kind
+  | Remove of string
+  | Detach of string
+      (** remove and return the entry (first half of rename) *)
+  | Attach of string * vnode * Fsspec.kind
+      (** adopt a detached vnode (second half of rename) *)
+  | Readdir
+  | Getattr
+  | Read of { off : int; len : int }
+  | Write of { off : int; data : string }
+  | Retire
+
+and vresp =
+  | Child of vnode * Fsspec.kind
+  | Attr of attr
+  | Data of string
+  | Wrote of int
+  | Names of string list
+  | Done
+  | Err of Fsspec.err
+
+and vnode = (vreq, vresp) Rpc.endpoint
+
+type sys = {
+  cfg : config;
+  bcache : Bcache.t;
+  alloc : Cgalloc.t;
+  root : vnode;
+  disp : (sc, scresp) Rpc.endpoint array;
+  mutable spawned : int;
+  mutable live : int;
+}
+
+and sc =
+  | Sc_mkdir of string
+  | Sc_create of string
+  | Sc_open of string
+  | Sc_read of vnode * int * int
+  | Sc_write of vnode * int * string
+  | Sc_stat of string
+  | Sc_unlink of string
+  | Sc_rename of string * string
+  | Sc_readdir of string
+
+and scresp =
+  | R_unit of (unit, Fsspec.err) result
+  | R_fd of (vnode, Fsspec.err) result
+  | R_data of (string, Fsspec.err) result
+  | R_wrote of (int, Fsspec.err) result
+  | R_stat of (Fsspec.stat, Fsspec.err) result
+  | R_names of (string list, Fsspec.err) result
+
+type t = {
+  sys : sys;
+  fds : (int, vnode) Hashtbl.t;
+  mutable next_fd : int;
+  mutable next_disp : int;
+}
+
+let bs = Fsspec.block_size
+
+let words_of_string s = 2 + ((String.length s + 7) / 8)
+
+let reply_words = function
+  | Data s -> words_of_string s
+  | Names ns -> 2 + List.length ns
+  | Child _ | Attr _ | Wrote _ | Done | Err _ -> 4
+
+(* ------------------------------------------------------------------ *)
+(* File vnode                                                          *)
+
+let rec nth_opt l i =
+  match (l, i) with
+  | x :: _, 0 -> Some x
+  | _ :: rest, i -> nth_opt rest (i - 1)
+  | [], _ -> None
+
+let file_read sys ~blocks ~size ~off ~len =
+  let len = max 0 (min len (size - off)) in
+  let out = Bytes.create len in
+  let rec copy done_ =
+    if done_ >= len then ()
+    else begin
+      let pos = off + done_ in
+      let bidx = pos / bs in
+      let boff = pos mod bs in
+      let chunk = min (bs - boff) (len - done_) in
+      (match nth_opt blocks bidx with
+      | Some b ->
+        let data = Bcache.get_range sys.bcache b ~off:boff ~len:chunk in
+        Bytes.blit_string data 0 out done_ (String.length data);
+        if String.length data < chunk then
+          Bytes.fill out (done_ + String.length data)
+            (chunk - String.length data) '\000'
+      | None -> Bytes.fill out done_ chunk '\000');
+      copy (done_ + chunk)
+    end
+  in
+  copy 0;
+  Bytes.to_string out
+
+(* ensure the file covers block index [bidx]; returns updated block
+   list or Enospc *)
+let rec ensure_block sys ~hint blocks bidx =
+  match nth_opt blocks bidx with
+  | Some b -> Ok (blocks, b)
+  | None -> (
+    match Cgalloc.alloc sys.alloc ~hint with
+    | None -> Error Fsspec.Enospc
+    | Some b ->
+      Bcache.zero sys.bcache b;
+      ensure_block sys ~hint (blocks @ [ b ]) bidx)
+
+let serve_file sys ep ~hint =
+  let blocks = ref [] in
+  let size = ref 0 in
+  let rec loop () =
+    let req, reply = Chan.recv ep in
+    let resp =
+      match req with
+      | Getattr -> Attr { akind = Fsspec.File; asize = !size;
+                          ablocks = List.length !blocks }
+      | Read { off; len } ->
+        if off < 0 || len < 0 then Err Fsspec.Einval
+        else Data (file_read sys ~blocks:!blocks ~size:!size ~off ~len)
+      | Write { off; data } ->
+        if off < 0 then Err Fsspec.Einval
+        else begin
+          let len = String.length data in
+          let rec copy done_ =
+            if done_ >= len then Ok len
+            else begin
+              let pos = off + done_ in
+              let bidx = pos / bs in
+              let boff = pos mod bs in
+              let chunk = min (bs - boff) (len - done_) in
+              match ensure_block sys ~hint !blocks bidx with
+              | Error e -> Error e
+              | Ok (blocks', b) ->
+                blocks := blocks';
+                Bcache.put sys.bcache b ~off:boff
+                  (String.sub data done_ chunk);
+                copy (done_ + chunk)
+            end
+          in
+          match copy 0 with
+          | Error e -> Err e
+          | Ok n ->
+            if off + len > !size then size := off + len;
+            Wrote n
+        end
+      | Retire ->
+        List.iter (Cgalloc.free sys.alloc) !blocks;
+        blocks := [];
+        sys.live <- sys.live - 1;
+        Done
+      | Lookup _ | Make _ | Remove _ | Detach _ | Attach _ | Readdir ->
+        Err Fsspec.Enotdir
+    in
+    Chan.send ~words:(reply_words resp) reply resp;
+    match req with
+    | Retire -> Chan.close ep
+    | _ -> loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Directory vnode                                                     *)
+
+let rec serve_dir sys ep =
+  let entries : (string, vnode * Fsspec.kind) Hashtbl.t = Hashtbl.create 8 in
+  let rec loop () =
+    let req, reply = Chan.recv ep in
+    let resp =
+      match req with
+      | Getattr ->
+        Attr { akind = Fsspec.Dir; asize = Hashtbl.length entries;
+               ablocks = 0 }
+      | Lookup name -> (
+        match Hashtbl.find_opt entries name with
+        | Some (v, k) -> Child (v, k)
+        | None -> Err Fsspec.Enoent)
+      | Make (name, kind) ->
+        if Hashtbl.mem entries name then Err Fsspec.Eexist
+        else begin
+          let child = spawn_vnode sys kind in
+          Hashtbl.replace entries name (child, kind);
+          Child (child, kind)
+        end
+      | Detach name -> (
+        match Hashtbl.find_opt entries name with
+        | None -> Err Fsspec.Enoent
+        | Some (v, kind) ->
+          Hashtbl.remove entries name;
+          Child (v, kind))
+      | Attach (name, v, kind) ->
+        if Hashtbl.mem entries name then Err Fsspec.Eexist
+        else begin
+          Hashtbl.replace entries name (v, kind);
+          Done
+        end
+      | Remove name -> (
+        match Hashtbl.find_opt entries name with
+        | None -> Err Fsspec.Enoent
+        | Some (v, kind) -> (
+          (* directories must be empty; ask the child *)
+          let empty_ok =
+            match kind with
+            | Fsspec.File -> Ok ()
+            | Fsspec.Dir -> (
+              match Rpc.call v Getattr with
+              | Attr a when a.asize = 0 -> Ok ()
+              | Attr _ -> Error Fsspec.Enotempty
+              | _ -> Error Fsspec.Einval)
+          in
+          match empty_ok with
+          | Error e -> Err e
+          | Ok () -> (
+            match Rpc.call v Retire with
+            | Done ->
+              Hashtbl.remove entries name;
+              Done
+            | _ -> Err Fsspec.Einval)))
+      | Readdir ->
+        let names = Hashtbl.fold (fun k _ acc -> k :: acc) entries [] in
+        Names (List.sort compare names)
+      | Retire ->
+        if Hashtbl.length entries > 0 then Err Fsspec.Enotempty
+        else begin
+          sys.live <- sys.live - 1;
+          Done
+        end
+      | Read _ | Write _ -> Err Fsspec.Eisdir
+    in
+    Chan.send ~words:(reply_words resp) reply resp;
+    match (req, resp) with
+    | Retire, Done -> Chan.close ep
+    | _ -> loop ()
+  in
+  loop ()
+
+and spawn_vnode sys kind =
+  let ep = Rpc.endpoint ~label:"vnode" () in
+  sys.spawned <- sys.spawned + 1;
+  sys.live <- sys.live + 1;
+  let hint = sys.spawned in
+  let body =
+    match kind with
+    | Fsspec.File -> fun () -> serve_file sys ep ~hint
+    | Fsspec.Dir -> fun () -> serve_dir sys ep
+  in
+  let label =
+    Printf.sprintf "%s-vnode-%d"
+      (match kind with Fsspec.File -> "file" | Fsspec.Dir -> "dir")
+      hint
+  in
+  ignore (Fiber.spawn ~label ~daemon:true body);
+  ep
+
+(* ------------------------------------------------------------------ *)
+(* Path walking (chain of Lookup messages down the tree)               *)
+
+let walk sys path =
+  match Fsspec.split_path path with
+  | Error e -> Error e
+  | Ok comps ->
+    let rec go cur kind = function
+      | [] -> Ok (cur, kind)
+      | name :: rest -> (
+        match Rpc.call cur (Lookup name) with
+        | Child (v, k) -> go v k rest
+        | Err e -> Error e
+        | _ -> Error Fsspec.Einval)
+    in
+    (try go sys.root Fsspec.Dir comps
+     with Chan.Closed -> Error Fsspec.Enoent)
+
+let walk_parent sys path =
+  match Fsspec.split_path path with
+  | Error e -> Error e
+  | Ok [] -> Error Fsspec.Einval
+  | Ok comps ->
+    let rec split_last acc = function
+      | [] -> assert false
+      | [ last ] -> (List.rev acc, last)
+      | c :: rest -> split_last (c :: acc) rest
+    in
+    let parents, name = split_last [] comps in
+    let rec go cur = function
+      | [] -> Ok (cur, name)
+      | n :: rest -> (
+        match Rpc.call cur (Lookup n) with
+        | Child (v, Fsspec.Dir) -> go v rest
+        | Child (_, Fsspec.File) -> Error Fsspec.Enotdir
+        | Err e -> Error e
+        | _ -> Error Fsspec.Einval)
+    in
+    (try go sys.root parents with Chan.Closed -> Error Fsspec.Enoent)
+
+let stat_of_attr a =
+  { Fsspec.kind = a.akind; size = a.asize; blocks = a.ablocks }
+
+(* The full operations, as performed by whoever walks (client under
+   plumbing, dispatcher otherwise). *)
+let do_mkdir sys path =
+  match walk_parent sys path with
+  | Error e -> Error e
+  | Ok (dir, name) -> (
+    try
+      match Rpc.call dir (Make (name, Fsspec.Dir)) with
+      | Child _ -> Ok ()
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
+
+let do_create sys path =
+  match walk_parent sys path with
+  | Error e -> Error e
+  | Ok (dir, name) -> (
+    try
+      match Rpc.call dir (Make (name, Fsspec.File)) with
+      | Child _ -> Ok ()
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
+
+let do_open sys path =
+  match walk sys path with
+  | Error e -> Error e
+  | Ok (_, Fsspec.Dir) -> Error Fsspec.Eisdir
+  | Ok (v, Fsspec.File) -> Ok v
+
+let do_read v ~off ~len =
+  try
+    match Rpc.call ~words:6 v (Read { off; len }) with
+    | Data d -> Ok d
+    | Err e -> Error e
+    | _ -> Error Fsspec.Einval
+  with Chan.Closed -> Error Fsspec.Ebadf
+
+let do_write v ~off data =
+  try
+    match Rpc.call ~words:(4 + words_of_string data) v (Write { off; data })
+    with
+    | Wrote n -> Ok n
+    | Err e -> Error e
+    | _ -> Error Fsspec.Einval
+  with Chan.Closed -> Error Fsspec.Ebadf
+
+let do_stat sys path =
+  match walk sys path with
+  | Error e -> Error e
+  | Ok (v, _) -> (
+    try
+      match Rpc.call v Getattr with
+      | Attr a -> Ok (stat_of_attr a)
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
+
+let do_unlink sys path =
+  match walk_parent sys path with
+  | Error e -> Error e
+  | Ok (dir, name) -> (
+    try
+      match Rpc.call dir (Remove name) with
+      | Done -> Ok ()
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
+
+(* Rename is a two-message protocol between autonomous directory
+   vnodes: detach from the source, attach at the destination,
+   reattaching at the source if the destination name is taken.  The
+   window in which the child hangs off neither directory is invisible
+   to other clients only insofar as they address entries by name; a
+   concurrent lookup sees Enoent — acceptable rename semantics for a
+   kernel without a global lock to hide behind, and symmetric with the
+   lock kernel's two-lock window. *)
+let do_rename sys src dst =
+  if Fsspec.path_inside ~src ~dst then Error Fsspec.Einval
+  else
+    match walk_parent sys src with
+    | Error e -> Error e
+    | Ok (sdir, sname) -> (
+      try
+        (* source must exist before we resolve the destination (error
+           precedence matches the reference model) *)
+        match Rpc.call sdir (Lookup sname) with
+        | Err e -> Error e
+        | Child _ -> (
+          match walk_parent sys dst with
+          | Error e -> Error e
+          | Ok (ddir, dname) -> (
+            match Rpc.call sdir (Detach sname) with
+            | Err e -> Error e
+            | Child (v, kind) -> (
+              match Rpc.call ddir (Attach (dname, v, kind)) with
+              | Done -> Ok ()
+              | Err e -> (
+                (* put it back where it came from *)
+                match Rpc.call sdir (Attach (sname, v, kind)) with
+                | Done -> Error e
+                | _ -> Error Fsspec.Einval)
+              | _ -> Error Fsspec.Einval)
+            | _ -> Error Fsspec.Einval))
+        | _ -> Error Fsspec.Einval
+      with Chan.Closed -> Error Fsspec.Enoent)
+
+let do_readdir sys path =
+  match walk sys path with
+  | Error e -> Error e
+  | Ok (v, _) -> (
+    try
+      match Rpc.call v Readdir with
+      | Names ns -> Ok ns
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatchers (conservative, non-plumbed syscall entry)               *)
+
+let serve_dispatcher sys ep =
+  Rpc.serve ep (fun sc ->
+      match sc with
+      | Sc_mkdir p -> R_unit (do_mkdir sys p)
+      | Sc_create p -> R_unit (do_create sys p)
+      | Sc_open p -> R_fd (do_open sys p)
+      | Sc_read (v, off, len) -> R_data (do_read v ~off ~len)
+      | Sc_write (v, off, data) -> R_wrote (do_write v ~off data)
+      | Sc_stat p -> R_stat (do_stat sys p)
+      | Sc_unlink p -> R_unit (do_unlink sys p)
+      | Sc_rename (a, b) -> R_unit (do_rename sys a b)
+      | Sc_readdir p -> R_names (do_readdir sys p))
+
+(* ------------------------------------------------------------------ *)
+
+let mount cfg ~bcache ~alloc =
+  let root = Rpc.endpoint ~label:"root-vnode" () in
+  let disp =
+    Array.init
+      (if cfg.plumbing then 0 else max 1 cfg.dispatchers)
+      (fun i -> Rpc.endpoint ~label:(Printf.sprintf "syscall-%d" i) ())
+  in
+  let sys = { cfg; bcache; alloc; root; disp; spawned = 1; live = 1 } in
+  ignore
+    (Fiber.spawn ~label:"root-vnode" ~daemon:true (fun () ->
+         serve_dir sys root));
+  Array.iteri
+    (fun i ep ->
+      ignore
+        (Fiber.spawn ~label:(Printf.sprintf "syscall-%d" i) ~daemon:true
+           (fun () -> serve_dispatcher sys ep)))
+    disp;
+  sys
+
+let client sys =
+  { sys; fds = Hashtbl.create 16; next_fd = 3; next_disp = 0 }
+
+let pick_disp t =
+  let d = t.sys.disp in
+  let i = t.next_disp in
+  t.next_disp <- (i + 1) mod Array.length d;
+  d.(i mod Array.length d)
+
+let via_disp t sc = Rpc.call (pick_disp t) sc
+
+let plumbed t = t.sys.cfg.plumbing
+
+let mkdir t path =
+  if plumbed t then do_mkdir t.sys path
+  else
+    match via_disp t (Sc_mkdir path) with
+    | R_unit r -> r
+    | _ -> Error Fsspec.Einval
+
+let create t path =
+  if plumbed t then do_create t.sys path
+  else
+    match via_disp t (Sc_create path) with
+    | R_unit r -> r
+    | _ -> Error Fsspec.Einval
+
+let install_fd t v =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd v;
+  fd
+
+let open_ t path =
+  let r =
+    if plumbed t then do_open t.sys path
+    else
+      match via_disp t (Sc_open path) with
+      | R_fd r -> r
+      | _ -> Error Fsspec.Einval
+  in
+  Result.map (install_fd t) r
+
+let close t fd =
+  if Hashtbl.mem t.fds fd then begin
+    Hashtbl.remove t.fds fd;
+    Ok ()
+  end
+  else Error Fsspec.Ebadf
+
+let fd_vnode t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some v -> Ok v
+  | None -> Error Fsspec.Ebadf
+
+let read t fd ~off ~len =
+  match fd_vnode t fd with
+  | Error e -> Error e
+  | Ok v ->
+    if plumbed t then do_read v ~off ~len
+    else (
+      match via_disp t (Sc_read (v, off, len)) with
+      | R_data r -> r
+      | _ -> Error Fsspec.Einval)
+
+let write t fd ~off data =
+  match fd_vnode t fd with
+  | Error e -> Error e
+  | Ok v ->
+    if plumbed t then do_write v ~off data
+    else (
+      match via_disp t (Sc_write (v, off, data)) with
+      | R_wrote r -> r
+      | _ -> Error Fsspec.Einval)
+
+let stat t path =
+  if plumbed t then do_stat t.sys path
+  else
+    match via_disp t (Sc_stat path) with
+    | R_stat r -> r
+    | _ -> Error Fsspec.Einval
+
+let unlink t path =
+  if plumbed t then do_unlink t.sys path
+  else
+    match via_disp t (Sc_unlink path) with
+    | R_unit r -> r
+    | _ -> Error Fsspec.Einval
+
+let rename t src dst =
+  if plumbed t then do_rename t.sys src dst
+  else
+    match via_disp t (Sc_rename (src, dst)) with
+    | R_unit r -> r
+    | _ -> Error Fsspec.Einval
+
+let readdir t path =
+  if plumbed t then do_readdir t.sys path
+  else
+    match via_disp t (Sc_readdir path) with
+    | R_names r -> r
+    | _ -> Error Fsspec.Einval
+
+let vnodes_spawned sys = sys.spawned
+
+let live_vnodes sys = sys.live

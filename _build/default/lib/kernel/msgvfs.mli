@@ -1,0 +1,57 @@
+(** The message-passing VFS: every vnode is its own fiber.
+
+    Paper Section 4: "the file system could be structured so that every
+    vnode is its own thread, which communicates with other threads that
+    administer cylinder groups and free-maps and so forth."  Here:
+
+    - every file and directory is an autonomous fiber owning its state
+      (no inode locks — the request loop serializes);
+    - directory entries hold the {e channel} to the child vnode, so a
+      lookup returns an endpoint and path resolution is a chain of
+      messages down the tree;
+    - data blocks live in the {!Bcache} shard services, storage comes
+      from the {!Cgalloc} group fibers, and everything bottoms out in
+      the single-fiber {!Blockdev} driver;
+    - [open] returns the file vnode's endpoint to the client (a
+      channel sent through a channel — the paper's "plumbing"), after
+      which reads and writes flow {e directly} between client and
+      vnode.  With [plumbing = false] every operation is instead
+      routed through dispatcher fibers, the ablation measured in E4.
+
+    Dispatch "via a common interface ... conventionally done with
+    tables of function pointers, is done in this environment by
+    sending to a channel using a common message protocol" — the [vreq]
+    type is that protocol, understood by both file and directory
+    vnodes.
+
+    Semantic note: unlinking a vnode retires its fiber and closes its
+    endpoint; operations through surviving open handles then fail
+    [Ebadf] (simpler than POSIX's keep-alive-while-open).
+
+    Implements {!Chorus_fsspec.Fsspec.S}. *)
+
+type config = {
+  plumbing : bool;  (** D3: open returns a direct vnode channel *)
+  dispatchers : int;  (** syscall-entry fibers when not plumbing *)
+}
+
+val default_config : config
+(** plumbing on, 4 dispatchers. *)
+
+type sys
+
+val mount : config -> bcache:Bcache.t -> alloc:Cgalloc.t -> sys
+(** Spawn the root directory vnode (and dispatchers). *)
+
+type t
+
+val client : sys -> t
+
+include Chorus_fsspec.Fsspec.S with type t := t
+
+(** {1 Introspection} *)
+
+val vnodes_spawned : sys -> int
+(** Total vnode fibers ever created under this mount. *)
+
+val live_vnodes : sys -> int

@@ -1,0 +1,62 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+type event =
+  | Thermal of int
+  | Power of int
+  | Hotplug of { core : int; online : bool }
+  | Io_complete of int
+  | App_exit of { pid : int; ok : bool }
+  | Custom of string
+
+type msg =
+  | Publish of event
+  | Subscribe of (event -> bool) * event Chan.t
+
+type t = {
+  inbox : msg Chan.t;
+  mutable published : int;
+  mutable delivered : int;
+}
+
+let start ?on () =
+  let t = { inbox = Chan.unbounded ~label:"notify" (); published = 0;
+            delivered = 0 } in
+  let subscribers : ((event -> bool) * event Chan.t) list ref = ref [] in
+  ignore
+    (Fiber.spawn ?on ~label:"notify-hub" ~daemon:true (fun () ->
+         let rec loop () =
+           (match Chan.recv t.inbox with
+           | Subscribe (filter, ch) ->
+             subscribers := (filter, ch) :: !subscribers
+           | Publish ev ->
+             t.published <- t.published + 1;
+             subscribers :=
+               List.filter
+                 (fun (filter, ch) ->
+                   if Chan.is_closed ch then false
+                   else begin
+                     if filter ev then begin
+                       Chan.send ~words:4 ch ev;
+                       t.delivered <- t.delivered + 1
+                     end;
+                     true
+                   end)
+                 !subscribers);
+           loop ()
+         in
+         loop ()));
+  t
+
+let subscribe_filtered t filter =
+  let ch = Chan.unbounded ~label:"notify-sub" () in
+  Chan.send t.inbox (Subscribe (filter, ch));
+  ch
+
+let subscribe t = subscribe_filtered t (fun _ -> true)
+
+let publish t ev = Chan.send ~words:4 t.inbox (Publish ev)
+
+let published t = t.published
+
+let delivered t = t.delivered

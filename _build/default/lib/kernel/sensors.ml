@@ -1,0 +1,55 @@
+module Fiber = Chorus.Fiber
+
+type config = {
+  period : int;
+  samples : int;
+  base_temp : int;
+  temp_swing : int;
+  power_every : int;
+  hotplug_every : int;
+}
+
+let default_config =
+  { period = 50_000;
+    samples = 0;
+    base_temp = 60;
+    temp_swing = 15;
+    power_every = 7;
+    hotplug_every = 0 }
+
+type t = { mutable taken : int; mutable fiber : Fiber.t option }
+
+(* triangular wave: deterministic, bounded, no RNG needed *)
+let temp_at cfg i =
+  let phase = i mod (2 * cfg.temp_swing) in
+  let offset = if phase < cfg.temp_swing then phase else (2 * cfg.temp_swing) - phase in
+  cfg.base_temp + offset - (cfg.temp_swing / 2)
+
+let start ?(config = default_config) notify =
+  let t = { taken = 0; fiber = None } in
+  let body () =
+    let rec loop i =
+      if config.samples > 0 && i >= config.samples then ()
+      else begin
+        Fiber.sleep config.period;
+        t.taken <- t.taken + 1;
+        Notify.publish notify (Notify.Thermal (temp_at config i));
+        if config.power_every > 0 && i mod config.power_every = config.power_every - 1
+        then Notify.publish notify (Notify.Power (i mod 3));
+        if
+          config.hotplug_every > 0
+          && i mod config.hotplug_every = config.hotplug_every - 1
+        then
+          Notify.publish notify
+            (Notify.Hotplug { core = i mod 8; online = i mod 2 = 0 });
+        loop (i + 1)
+      end
+    in
+    loop 0
+  in
+  t.fiber <- Some (Fiber.spawn ~label:"sensors" ~daemon:true body);
+  t
+
+let samples_taken t = t.taken
+
+let stop t = match t.fiber with Some f -> Fiber.kill f | None -> ()

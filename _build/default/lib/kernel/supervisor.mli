@@ -1,0 +1,46 @@
+(** Erlang-style supervision trees.
+
+    Paper Section 5: "Partial failure ... becomes a problem whenever
+    there are multiple nontrivial autonomous entities.  Making a kernel
+    built with lightweight channels fully fail-stop is likely to be a
+    challenge.  On the other hand, given some of the experience with
+    Erlang it may be feasible to aim for {e not failing} as an
+    alternative."
+
+    A supervisor owns a set of child services.  Because a service's
+    identity is its {e endpoint channel} — not its fiber — a restarted
+    child re-attaches to the same endpoint and clients never notice
+    beyond the requests lost in the crash window.  Strategies follow
+    OTP: [One_for_one] restarts the crashed child; [One_for_all] kills
+    and restarts all children (for services with shared protocol
+    state).  A child crashing more than [max_restarts] times within
+    [window] cycles escalates: the supervisor gives up, kills
+    everything, and exits abnormally itself.  Experiment E10 converts
+    restart behaviour into measured availability. *)
+
+type strategy = One_for_one | One_for_all
+
+type child_spec = {
+  cname : string;
+  cstart : unit -> Chorus.Fiber.t;
+      (** spawn (or re-spawn) the service; it must re-use its
+          pre-existing endpoint so clients survive the restart *)
+}
+
+type t
+
+val start :
+  ?max_restarts:int -> ?window:int -> strategy -> child_spec list -> t
+(** Defaults: 10 restarts within 10M cycles.  The supervisor itself
+    runs as a daemon fiber. *)
+
+val restarts : t -> int
+(** Total restarts performed. *)
+
+val restart_log : t -> (int * string) list
+(** [(time, child)] per restart, oldest first. *)
+
+val gave_up : t -> bool
+
+val stop : t -> unit
+(** Kill all children and the supervisor. *)

@@ -1,0 +1,1 @@
+lib/machine/coherence.ml: Cost Int Machine Set Topology

@@ -1,0 +1,1 @@
+lib/machine/coherence.mli: Machine Topology

@@ -1,0 +1,20 @@
+(** Disk service-time model shared by both kernels.
+
+    Both the message-passing kernel's single-fiber disk driver and the
+    baseline's lock-based block layer consult the same model, so the
+    storage hardware is identical across compared systems and only the
+    software architecture differs. *)
+
+type t = {
+  seek : int;  (** cycles for a discontiguous access (head movement) *)
+  per_block : int;  (** transfer cycles per block *)
+  block_size_words : int;
+}
+
+val default : t
+(** A fast 2011 SSD-ish device: ~20us discontiguous access, ~2us
+    per-block transfer at 2GHz. *)
+
+val service_time : t -> last_block:int -> block:int -> int
+(** Cycles to service one block access given the previous head
+    position: sequential accesses skip the seek. *)

@@ -1,0 +1,50 @@
+type t = { topology : Topology.t; costs : Cost.t }
+
+let make topology costs = { topology; costs }
+
+let topology t = t.topology
+
+let costs t = t.costs
+
+let cores t = Topology.cores t.topology
+
+let hops t a b = Topology.hops t.topology a b
+
+let message_latency t ~src ~dst ~words =
+  let c = t.costs in
+  let h = hops t src dst in
+  c.Cost.msg_inject + (h * c.Cost.msg_per_hop)
+  + (words * c.Cost.msg_per_word)
+  + c.Cost.msg_receive
+
+let transfer_latency t ~owner ~requester =
+  let c = t.costs in
+  if owner = requester then c.Cost.cache_hit
+  else c.Cost.cache_miss + (hops t owner requester * c.Cost.coherence_per_hop)
+
+(* Exact w*h = cores factorization with w as close to sqrt as possible,
+   so power-of-two sweeps get the expected core counts. *)
+let mesh_shape cores =
+  let rec widest w = if w >= 1 && cores mod w = 0 then w else widest (w - 1) in
+  let w = widest (int_of_float (sqrt (float_of_int cores))) in
+  Topology.Mesh (w, cores / w)
+
+let smp ~cores =
+  let shape = if cores = 1 then Topology.Single else Topology.Crossbar cores in
+  make (Topology.make shape) Cost.software_messages
+
+let mesh ~cores =
+  let shape = if cores = 1 then Topology.Single else mesh_shape cores in
+  make (Topology.make shape) Cost.software_messages
+
+let mesh_hw ~cores =
+  let shape = if cores = 1 then Topology.Single else mesh_shape cores in
+  make (Topology.make shape) Cost.hardware_messages
+
+let hierarchy ~dies ~clusters ~cores_per_cluster =
+  make
+    (Topology.make (Topology.Hierarchy (dies, clusters, cores_per_cluster)))
+    Cost.software_messages
+
+let describe t =
+  Printf.sprintf "%s (%d cores)" (Topology.to_string t.topology) (cores t)

@@ -1,0 +1,50 @@
+(** A simulated multicore machine: a topology plus a cycle cost model.
+
+    This is the substrate substituted for the paper's hypothetical
+    hundreds-of-cores chips (see DESIGN.md, substitution table).  It is
+    purely descriptive — the runtime engine does the accounting. *)
+
+type t
+
+val make : Topology.t -> Cost.t -> t
+
+val topology : t -> Topology.t
+
+val costs : t -> Cost.t
+
+val cores : t -> int
+
+val hops : t -> Topology.core -> Topology.core -> int
+
+(** {1 Derived message costs} *)
+
+val message_latency : t -> src:Topology.core -> dst:Topology.core ->
+  words:int -> int
+(** End-to-end cycles for one message of [words] payload words:
+    inject + hops * per_hop + words * per_word + receive.  A message to
+    the local core still pays inject + receive (queue traversal). *)
+
+val transfer_latency : t -> owner:Topology.core -> requester:Topology.core ->
+  int
+(** Cycles to move a cache line from [owner] to [requester]
+    (miss + per-hop coherence cost); equals [cache_miss] when local. *)
+
+(** {1 Presets} *)
+
+val smp : cores:int -> t
+(** Small shared-bus SMP (crossbar, software messages): the
+    four-to-128-core machines the paper says we already know how to
+    handle. *)
+
+val mesh : cores:int -> t
+(** Square-ish 2D mesh with software messages; the "hundreds of cores"
+    regime on today's coherence hardware. *)
+
+val mesh_hw : cores:int -> t
+(** Same mesh with native hardware message support (paper Section 4's
+    supposition). *)
+
+val hierarchy : dies:int -> clusters:int -> cores_per_cluster:int -> t
+(** Multi-die package with software messages. *)
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Chorus Chorus_util List Printf String

@@ -1,0 +1,1 @@
+lib/net/netkv.ml: Chorus Hashtbl Printf Stack String

@@ -1,0 +1,1 @@
+lib/net/netkv.mli: Stack

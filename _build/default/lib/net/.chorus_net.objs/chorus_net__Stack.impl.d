@@ -1,0 +1,1 @@
+lib/net/stack.ml: Chorus Fabric Hashtbl Printf

@@ -1,0 +1,106 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Rng = Chorus_util.Rng
+
+type frame = {
+  src : int;
+  dst : int;
+  port : int;
+  seq : int;
+  payload : string;
+}
+
+type nic = {
+  naddr : int;
+  tx : frame Chan.t;  (** to the driver fiber *)
+  rx_ch : frame Chan.t;
+}
+
+type t = {
+  latency : int;
+  loss : float;
+  rng : Rng.t;
+  wire : (int * frame * nic) Chan.t;
+      (** (deliver_at, frame, destination): drained by the wire pump *)
+  mutable nics : nic list;  (** reversed attach order *)
+  mutable next_addr : int;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+}
+
+let frame_words f = 6 + ((String.length f.payload + 7) / 8)
+
+(* The wire pump carries frames in flight: it sleeps until each
+   frame's arrival time and posts it on the destination's rx channel
+   (the receive interrupt). *)
+let wire_pump t =
+  let rec loop () =
+    let deliver_at, f, dst = Chan.recv t.wire in
+    let now = Fiber.now () in
+    if deliver_at > now then Fiber.sleep (deliver_at - now);
+    t.delivered <- t.delivered + 1;
+    if not (Chan.is_closed dst.rx_ch) then
+      Chan.send ~words:(frame_words f) dst.rx_ch f;
+    loop ()
+  in
+  loop ()
+
+let create ?(latency = 5_000) ?(loss = 0.0) ?(seed = 17) () =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Fabric.create: loss";
+  let t =
+    { latency; loss; rng = Rng.make seed; wire = Chan.unbounded ~label:"wire" ();
+      nics = []; next_addr = 0; sent = 0; dropped = 0; delivered = 0 }
+  in
+  ignore (Fiber.spawn ~label:"wire-pump" ~daemon:true (fun () -> wire_pump t));
+  t
+
+let find_nic t addr = List.find_opt (fun n -> n.naddr = addr) t.nics
+
+(* The transmit driver: one fiber per NIC, straight-line code, no
+   locks (paper Section 4's driver pattern). *)
+let driver t nic =
+  let rec loop () =
+    let f = Chan.recv nic.tx in
+    (* serialization/DMA time proportional to the frame *)
+    Fiber.work (40 + (frame_words f * 2));
+    t.sent <- t.sent + 1;
+    (if Rng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
+     else
+       match find_nic t f.dst with
+       | None -> t.dropped <- t.dropped + 1
+       | Some dst ->
+         Chan.send ~words:2 t.wire (Fiber.now () + t.latency, f, dst));
+    loop ()
+  in
+  loop ()
+
+let attach t ?label () =
+  let naddr = t.next_addr in
+  t.next_addr <- naddr + 1;
+  let label =
+    match label with Some l -> l | None -> Printf.sprintf "nic-%d" naddr
+  in
+  let nic =
+    { naddr;
+      tx = Chan.unbounded ~label:(label ^ "-tx") ();
+      rx_ch = Chan.unbounded ~label:(label ^ "-rx") () }
+  in
+  t.nics <- nic :: t.nics;
+  ignore
+    (Fiber.spawn ~label:(label ^ "-driver") ~daemon:true (fun () ->
+         driver t nic));
+  nic
+
+let addr nic = nic.naddr
+
+let transmit nic f =
+  Chan.send ~words:(frame_words f) nic.tx { f with src = nic.naddr }
+
+let rx nic = nic.rx_ch
+
+let frames_sent t = t.sent
+
+let frames_dropped t = t.dropped
+
+let frames_delivered t = t.delivered

@@ -1,0 +1,52 @@
+(** A lossy network fabric connecting simulated NICs.
+
+    The paper remarks that its proposed kernel "is structurally more
+    similar to a client/server network application … than to either
+    traditional kernel design", and that verification can borrow
+    "techniques developed for networking software".  This substrate
+    makes that concrete: nodes exchange frames over a fabric with
+    latency and (optionally) loss, each NIC's transmit side is a
+    single-fiber driver exactly like {!Chorus_kernel.Blockdev}, and the
+    receive side delivers frames as messages on a channel — the
+    "interrupt" is just a recv.
+
+    Frames are typed records (no byte-level encoding): the simulation
+    cares about counts, sizes and ordering, not wire formats. *)
+
+type frame = {
+  src : int;
+  dst : int;
+  port : int;
+  seq : int;
+  payload : string;
+}
+
+type t
+
+type nic
+
+val create : ?latency:int -> ?loss:float -> ?seed:int -> unit -> t
+(** [create ()] builds a fabric; [latency] is the one-way frame delay
+    in cycles (default 5000 — an on-package interconnect between
+    nodes), [loss] a uniform drop probability (default 0). *)
+
+val attach : t -> ?label:string -> unit -> nic
+(** Add a node: spawns its transmit-driver fiber and returns the NIC.
+    Addresses are assigned 0, 1, 2, … in attach order. *)
+
+val addr : nic -> int
+
+val transmit : nic -> frame -> unit
+(** Queue a frame for transmission (never blocks; the driver fiber
+    serializes the actual sends). The [src] field is overwritten with
+    this NIC's address. *)
+
+val rx : nic -> frame Chorus.Chan.t
+(** The receive channel: every frame addressed to this NIC (and not
+    lost) appears here in transmission order per sender. *)
+
+val frames_sent : t -> int
+
+val frames_dropped : t -> int
+
+val frames_delivered : t -> int

@@ -1,0 +1,94 @@
+module Fiber = Chorus.Fiber
+
+(* Wire format: requests and replies are tiny strings; first byte is
+   the opcode.  (Payload strings keep the fabric honest about sizes.) *)
+
+let encode_put k v = Printf.sprintf "P%s\x00%s" k v
+
+let encode_get k = "G" ^ k
+
+let encode_repl k v = Printf.sprintf "R%s\x00%s" k v
+
+let decode msg =
+  if String.length msg = 0 then `Bad
+  else begin
+    let body = String.sub msg 1 (String.length msg - 1) in
+    match msg.[0] with
+    | 'G' -> `Get body
+    | 'P' | 'R' -> (
+      match String.index_opt body '\x00' with
+      | None -> `Bad
+      | Some i ->
+        let k = String.sub body 0 i in
+        let v = String.sub body (i + 1) (String.length body - i - 1) in
+        if msg.[0] = 'P' then `Put (k, v) else `Repl (k, v))
+    | _ -> `Bad
+  end
+
+type server = {
+  table : (string, string) Hashtbl.t;
+  mutable puts : int;
+  mutable gets : int;
+  mutable repls : int;
+}
+
+let start_server ?backup stack ~port =
+  let s = { table = Hashtbl.create 64; puts = 0; gets = 0; repls = 0 } in
+  ignore
+    (Fiber.spawn
+       ~label:(Printf.sprintf "kv-server-%d" (Stack.addr stack))
+       ~daemon:true
+       (fun () ->
+         Stack.serve stack ~port (fun ~src:_ msg ->
+             match decode msg with
+             | `Get k -> (
+               s.gets <- s.gets + 1;
+               Fiber.work 150;
+               match Hashtbl.find_opt s.table k with
+               | Some v -> "F" ^ v
+               | None -> "M")
+             | `Put (k, v) -> (
+               s.puts <- s.puts + 1;
+               Fiber.work 200;
+               Hashtbl.replace s.table k v;
+               match backup with
+               | None -> "A"
+               | Some peer -> (
+                 (* synchronous replication before acking the client *)
+                 match
+                   Stack.call stack ~dst:peer ~port (encode_repl k v)
+                 with
+                 | Some "A" -> "A"
+                 | Some _ | None -> "E"))
+             | `Repl (k, v) ->
+               s.repls <- s.repls + 1;
+               Fiber.work 200;
+               Hashtbl.replace s.table k v;
+               "A"
+             | `Bad -> "E")));
+  s
+
+let puts_served s = s.puts
+
+let gets_served s = s.gets
+
+let replications s = s.repls
+
+type client = { stack : Stack.t; server_addr : int; port : int }
+
+let client stack ~server_addr ~port = { stack; server_addr; port }
+
+let put c k v =
+  match
+    Stack.call c.stack ~dst:c.server_addr ~port:c.port (encode_put k v)
+  with
+  | Some "A" -> true
+  | Some _ | None -> false
+
+let get c k =
+  match Stack.call c.stack ~dst:c.server_addr ~port:c.port (encode_get k) with
+  | None -> None
+  | Some reply ->
+    if String.length reply >= 1 && reply.[0] = 'F' then
+      Some (Some (String.sub reply 1 (String.length reply - 1)))
+    else Some None

@@ -1,0 +1,37 @@
+(** A distributed key-value service over the lossy fabric.
+
+    The paper observes its proposed kernel "is structurally more
+    similar to a client/server network application or to a cluster
+    environment than to either traditional kernel design"; this module
+    closes the loop by building exactly such an application on the same
+    primitives.  A primary node serves gets/puts; an optional backup
+    receives synchronous replication of every put (primary replies to
+    the client only after the backup acks), all over {!Stack.call}'s
+    retransmitting request/response, so the whole thing tolerates frame
+    loss end to end. *)
+
+type server
+
+val start_server :
+  ?backup:int -> Stack.t -> port:int -> server
+(** Serve on [port] (daemon fiber).  [backup] is the address of a
+    replica node that must also be running [start_server] on the same
+    port. *)
+
+val puts_served : server -> int
+
+val gets_served : server -> int
+
+val replications : server -> int
+
+type client
+
+val client : Stack.t -> server_addr:int -> port:int -> client
+
+val put : client -> string -> string -> bool
+(** [put c k v] returns false if the network gave up (retries
+    exhausted). *)
+
+val get : client -> string -> string option option
+(** [get c k]: [None] = network failure; [Some None] = not found;
+    [Some (Some v)] = found. *)

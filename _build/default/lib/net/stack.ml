@@ -1,0 +1,145 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+type rel_stats = {
+  mutable calls : int;
+  mutable retransmissions : int;
+  mutable failures : int;
+  mutable duplicates_served : int;
+}
+
+type t = {
+  fabric : Fabric.t;
+  nic : Fabric.nic;
+  ports : (int, Fabric.frame Chan.t) Hashtbl.t;
+  pending : (int, string Chan.t) Hashtbl.t;
+      (** outstanding reliable calls, by seq *)
+  reply_demux_on : (int, unit) Hashtbl.t;
+      (** reply ports whose demux fiber is running *)
+  stats : rel_stats;
+  mutable next_seq : int;
+}
+
+let create fabric nic =
+  let t =
+    { fabric;
+      nic;
+      ports = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      reply_demux_on = Hashtbl.create 4;
+      stats =
+        { calls = 0; retransmissions = 0; failures = 0;
+          duplicates_served = 0 };
+      next_seq = 1 }
+  in
+  (* the demux fiber owns the NIC's rx channel *)
+  ignore
+    (Fiber.spawn
+       ~label:(Printf.sprintf "demux-%d" (Fabric.addr nic))
+       ~daemon:true
+       (fun () ->
+         let rec loop () =
+           let f = Chan.recv (Fabric.rx nic) in
+           (match Hashtbl.find_opt t.ports f.Fabric.port with
+           | Some ch -> Chan.send ~words:4 ch f
+           | None -> (* no listener: drop, like a closed port *) ());
+           loop ()
+         in
+         loop ()));
+  t
+
+let addr t = Fabric.addr t.nic
+
+let listen t ~port =
+  if Hashtbl.mem t.ports port then
+    invalid_arg (Printf.sprintf "Stack.listen: port %d taken" port);
+  let ch = Chan.unbounded ~label:(Printf.sprintf "port-%d" port) () in
+  Hashtbl.replace t.ports port ch;
+  ch
+
+let send t ~dst ~port ?seq payload =
+  let seq =
+    match seq with
+    | Some s -> s
+    | None ->
+      let s = t.next_seq in
+      t.next_seq <- s + 1;
+      s
+  in
+  Fabric.transmit t.nic { Fabric.src = 0; dst; port; seq; payload }
+
+let rel_stats t = t.stats
+
+(* Reply port convention: replies to a request on port p arrive on
+   port p + 10000, tagged with the request's seq. *)
+let reply_port port = port + 10_000
+
+(* One demux fiber per reply port routes replies to the waiting
+   caller's one-shot channel, so concurrent calls never steal each
+   other's replies. *)
+let ensure_reply_demux t port =
+  let rport = reply_port port in
+  if not (Hashtbl.mem t.reply_demux_on rport) then begin
+    Hashtbl.replace t.reply_demux_on rport ();
+    let replies = listen t ~port:rport in
+    ignore
+      (Fiber.spawn
+         ~label:(Printf.sprintf "reply-demux-%d" rport)
+         ~daemon:true
+         (fun () ->
+           let rec loop () =
+             let f = Chan.recv replies in
+             (match Hashtbl.find_opt t.pending f.Fabric.seq with
+             | Some one_shot ->
+               Hashtbl.remove t.pending f.Fabric.seq;
+               Chan.send one_shot f.Fabric.payload
+             | None -> (* duplicate reply to a completed call *) ());
+             loop ()
+           in
+           loop ()))
+  end
+
+let call t ~dst ~port ?(timeout = 50_000) ?(attempts = 5) req =
+  t.stats.calls <- t.stats.calls + 1;
+  ensure_reply_demux t port;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let one_shot = Chan.buffered 1 in
+  Hashtbl.replace t.pending seq one_shot;
+  let rec attempt n =
+    if n >= attempts then begin
+      t.stats.failures <- t.stats.failures + 1;
+      Hashtbl.remove t.pending seq;
+      None
+    end
+    else begin
+      if n > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
+      send t ~dst ~port ~seq req;
+      Chan.choose
+        [ Chan.recv_case one_shot (fun payload -> Some payload);
+          Chan.after timeout (fun () -> attempt (n + 1)) ]
+    end
+  in
+  attempt 0
+
+let serve t ~port handler =
+  let requests = listen t ~port in
+  (* (peer, seq) -> cached reply, for duplicate suppression *)
+  let seen : (int * int, string) Hashtbl.t = Hashtbl.create 32 in
+  let rec loop () =
+    let f = Chan.recv requests in
+    let key = (f.Fabric.src, f.Fabric.seq) in
+    let reply =
+      match Hashtbl.find_opt seen key with
+      | Some cached ->
+        t.stats.duplicates_served <- t.stats.duplicates_served + 1;
+        cached
+      | None ->
+        let r = handler ~src:f.Fabric.src f.Fabric.payload in
+        Hashtbl.replace seen key r;
+        r
+    in
+    send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq reply;
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,47 @@
+(** Per-node protocol stack: port demultiplexing plus a reliable
+    request/response protocol over the lossy {!Fabric}.
+
+    Structure follows the paper's model: the demux is an autonomous
+    fiber that owns the NIC's receive channel and routes frames to
+    per-port channels; the reliable layer is ordinary client code built
+    from [choose] — a retransmission is literally a timeout arm firing.
+    Duplicate suppression on the server side uses a last-seq cache per
+    peer, so retried requests execute exactly once. *)
+
+type t
+
+val create : Fabric.t -> Fabric.nic -> t
+(** Spawn the demux fiber for this NIC. *)
+
+val addr : t -> int
+
+val listen : t -> port:int -> Fabric.frame Chorus.Chan.t
+(** The channel of frames arriving on [port].  One listener per port;
+    raises [Invalid_argument] on a duplicate. *)
+
+val send : t -> dst:int -> port:int -> ?seq:int -> string -> unit
+(** Fire-and-forget datagram. *)
+
+(** {1 Reliable request/response} *)
+
+type rel_stats = {
+  mutable calls : int;
+  mutable retransmissions : int;
+  mutable failures : int;  (** gave up after max attempts *)
+  mutable duplicates_served : int;  (** server-side replays suppressed *)
+}
+
+val rel_stats : t -> rel_stats
+
+val call :
+  t -> dst:int -> port:int -> ?timeout:int -> ?attempts:int -> string ->
+  string option
+(** [call t ~dst ~port req] sends the request and waits for the
+    matching reply, retransmitting on [timeout] (default 4x the wire
+    round trip heuristic: 50k cycles) up to [attempts] times (default
+    5).  [None] when every attempt timed out. *)
+
+val serve : t -> port:int -> (src:int -> string -> string) -> unit
+(** Serve requests on [port] forever (run in a daemon fiber):
+    deduplicates retransmitted requests by (peer, seq), replaying the
+    cached reply instead of re-executing the handler. *)

@@ -1,0 +1,1 @@
+lib/proto/explore.ml: Array Format Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/proto/gtype.ml: List Ltype Printf

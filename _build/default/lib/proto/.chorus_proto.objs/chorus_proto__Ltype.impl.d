@@ -1,0 +1,1 @@
+lib/proto/ltype.ml: Format Hashtbl List Printf

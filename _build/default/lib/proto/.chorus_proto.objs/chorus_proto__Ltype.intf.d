@@ -1,0 +1,1 @@
+lib/proto/ltype.mli: Format

@@ -1,0 +1,1 @@
+lib/proto/monitor.ml: Chorus List Ltype Option Printf

@@ -1,0 +1,1 @@
+lib/proto/monitor.mli: Chorus Ltype

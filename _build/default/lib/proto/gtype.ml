@@ -1,0 +1,144 @@
+type t =
+  | Msg of { sender : string; receiver : string; label : string; cont : t }
+  | Choice of {
+      sender : string;
+      receiver : string;
+      branches : (string * t) list;
+    }
+  | Rec of string * t
+  | Var of string
+  | End
+
+let msg sender receiver label cont = Msg { sender; receiver; label; cont }
+
+let rec collect_roles acc = function
+  | End | Var _ -> acc
+  | Rec (_, body) -> collect_roles acc body
+  | Msg { sender; receiver; cont; _ } ->
+    collect_roles (sender :: receiver :: acc) cont
+  | Choice { sender; receiver; branches } ->
+    List.fold_left
+      (fun acc (_, k) -> collect_roles acc k)
+      (sender :: receiver :: acc)
+      branches
+
+let roles g = List.sort_uniq compare (collect_roles [] g)
+
+let rec well_formed_in env = function
+  | End -> Ok ()
+  | Var x ->
+    if List.mem_assoc x env then
+      if List.assoc x env then Ok ()
+      else Error (Printf.sprintf "unguarded recursion on %s" x)
+    else Error (Printf.sprintf "free recursion variable %s" x)
+  | Rec (x, body) -> well_formed_in ((x, false) :: env) body
+  | Msg { sender; receiver; cont; _ } ->
+    if sender = receiver then
+      Error (Printf.sprintf "role %s messages itself" sender)
+    else
+      well_formed_in (List.map (fun (x, _) -> (x, true)) env) cont
+  | Choice { sender; receiver; branches } ->
+    if sender = receiver then
+      Error (Printf.sprintf "role %s messages itself" sender)
+    else if branches = [] then Error "empty choice"
+    else begin
+      let labels = List.map fst branches in
+      let rec dup = function
+        | [] -> None
+        | l :: rest -> if List.mem l rest then Some l else dup rest
+      in
+      match dup labels with
+      | Some l -> Error (Printf.sprintf "duplicate label %s" l)
+      | None ->
+        let env = List.map (fun (x, _) -> (x, true)) env in
+        List.fold_left
+          (fun acc (_, k) ->
+            match acc with Error _ -> acc | Ok () -> well_formed_in env k)
+          (Ok ()) branches
+    end
+
+let well_formed g = well_formed_in [] g
+
+(* The merge of a non-participant's views of a choice: identical
+   behaviours merge trivially; distinct external choices (Recv) merge
+   by label union provided common labels agree — the standard "full
+   merge", which lets a role be told about an outcome it did not
+   observe by whoever did. *)
+let rec merge_two role p1 p2 =
+  if p1 = p2 then Ok p1
+  else
+    match (p1, p2) with
+    | Ltype.Recv b1, Ltype.Recv b2 ->
+      let labels =
+        List.sort_uniq compare (List.map fst b1 @ List.map fst b2)
+      in
+      let rec go acc = function
+        | [] -> Ok (Ltype.Recv (List.rev acc))
+        | l :: rest -> (
+          match (List.assoc_opt l b1, List.assoc_opt l b2) with
+          | Some k, None | None, Some k -> go ((l, k) :: acc) rest
+          | Some k1, Some k2 -> (
+            match merge_two role k1 k2 with
+            | Ok k -> go ((l, k) :: acc) rest
+            | Error e -> Error e)
+          | None, None -> assert false)
+      in
+      go [] labels
+    | _ ->
+      Error
+        (Printf.sprintf
+           "role %s cannot tell the branches of a choice it does not \
+            observe apart"
+           role)
+
+let merge_projections role projs =
+  match projs with
+  | [] -> Error "empty choice"
+  | first :: rest ->
+    List.fold_left
+      (fun acc p ->
+        match acc with Error e -> Error e | Ok m -> merge_two role m p)
+      (Ok first) rest
+
+let rec project g role =
+  match g with
+  | End -> Ok Ltype.End
+  | Var x -> Ok (Ltype.Var x)
+  | Rec (x, body) -> (
+    match project body role with
+    | Error e -> Error e
+    | Ok (Ltype.Var y) when y = x ->
+      (* the role does not participate in the loop at all *)
+      Ok Ltype.End
+    | Ok p -> Ok (Ltype.Rec (x, p)))
+  | Msg { sender; receiver; label; cont } -> (
+    match project cont role with
+    | Error e -> Error e
+    | Ok k ->
+      if role = sender then Ok (Ltype.Send [ (label, k) ])
+      else if role = receiver then Ok (Ltype.Recv [ (label, k) ])
+      else Ok k)
+  | Choice { sender; receiver; branches } ->
+    let rec proj_branches acc = function
+      | [] -> Ok (List.rev acc)
+      | (l, k) :: rest -> (
+        match project k role with
+        | Error e -> Error e
+        | Ok p -> proj_branches ((l, p) :: acc) rest)
+    in
+    (match proj_branches [] branches with
+    | Error e -> Error e
+    | Ok projs ->
+      if role = sender then Ok (Ltype.Send projs)
+      else if role = receiver then Ok (Ltype.Recv projs)
+      else merge_projections role (List.map snd projs))
+
+let project_all g =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | r :: rest -> (
+      match project g r with
+      | Ok p -> go ((r, p) :: acc) rest
+      | Error _ -> None)
+  in
+  go [] (roles g)

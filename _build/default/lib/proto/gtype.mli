@@ -1,0 +1,40 @@
+(** Global session types (choreographies) with endpoint projection.
+
+    Where {!Ltype} describes one endpoint, a [Gtype.t] describes the
+    whole conversation among named roles — "the file system asks the
+    allocator, the allocator answers, then the file system tells the
+    cache…" — and {!project} derives each role's local type
+    mechanically.  Wiring components from projections of one global
+    type rules out label mismatches by construction, which is the
+    strongest form of the paper's Section 4 verification claim this
+    library supports. *)
+
+type t =
+  | Msg of { sender : string; receiver : string; label : string; cont : t }
+  | Choice of {
+      sender : string;
+      receiver : string;
+      branches : (string * t) list;
+    }  (** [sender] picks the label *)
+  | Rec of string * t
+  | Var of string
+  | End
+
+val msg : string -> string -> string -> t -> t
+(** [msg p q l cont]: p sends l to q, then cont. *)
+
+val roles : t -> string list
+(** All role names, sorted. *)
+
+val well_formed : t -> (unit, string) result
+(** Checks self-messaging, duplicate labels, empty/unguarded
+    recursion. *)
+
+val project : t -> string -> (Ltype.t, string) result
+(** [project g r] is role [r]'s local view.  Fails when [r] cannot
+    consistently follow a choice it does not observe (the standard
+    mergeability condition: a non-participant must behave identically
+    in every branch). *)
+
+val project_all : t -> (string * Ltype.t) list option
+(** Every role's projection, or [None] if any projection fails. *)

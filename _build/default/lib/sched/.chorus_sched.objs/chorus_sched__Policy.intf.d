@@ -1,0 +1,1 @@
+lib/sched/policy.mli: Chorus_util

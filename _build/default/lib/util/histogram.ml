@@ -1,0 +1,94 @@
+(* Buckets: values < 64 are exact (buckets 0..63); beyond that, each
+   power of two is split into [sub] sub-buckets.  Index computation is
+   branch-light and total over non-negative ints. *)
+
+let sub = 32
+let linear_limit = 64
+
+type t = {
+  mutable counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable max_v : int;
+  mutable min_v : int;
+}
+
+let nbuckets = linear_limit + (64 * sub)
+
+let create () =
+  { counts = Array.make nbuckets 0; n = 0; total = 0.0; max_v = 0;
+    min_v = max_int }
+
+let log2_floor v =
+  (* v >= 1 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  if v < linear_limit then v
+  else begin
+    let e = log2_floor v in
+    (* sub-bucket within [2^e, 2^(e+1)) *)
+    let frac = (v - (1 lsl e)) * sub / (1 lsl e) in
+    linear_limit + (((e - 6) * sub) + frac)
+  end
+
+let upper_bound_of_bucket b =
+  if b < linear_limit then b
+  else begin
+    let b = b - linear_limit in
+    let e = (b / sub) + 6 in
+    let frac = b mod sub in
+    (1 lsl e) + (((frac + 1) * (1 lsl e) / sub) - 1)
+  end
+
+let record_n t v n =
+  let v = if v < 0 then 0 else v in
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + n;
+  t.n <- t.n + n;
+  t.total <- t.total +. (float_of_int v *. float_of_int n);
+  if v > t.max_v then t.max_v <- v;
+  if v < t.min_v then t.min_v <- v
+
+let record t v = record_n t v 1
+
+let count t = t.n
+
+let total t = t.total
+
+let mean t = if t.n = 0 then nan else t.total /. float_of_int t.n
+
+let max_value t = t.max_v
+
+let min_value t = if t.n = 0 then 0 else t.min_v
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let rec go b seen =
+      if b >= nbuckets then t.max_v
+      else begin
+        let seen = seen + t.counts.(b) in
+        if seen >= rank then Stdlib.min (upper_bound_of_bucket b) t.max_v
+        else go (b + 1) seen
+      end
+    in
+    go 0 0
+  end
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i c -> t.counts.(i) <- c) a.counts;
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) b.counts;
+  t.n <- a.n + b.n;
+  t.total <- a.total +. b.total;
+  t.max_v <- Stdlib.max a.max_v b.max_v;
+  t.min_v <- Stdlib.min a.min_v b.min_v;
+  t
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d" t.n (mean t)
+    (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) t.max_v

@@ -1,0 +1,33 @@
+(** Mutable binary min-heap priority queue.
+
+    The discrete-event engine keeps all pending events here, keyed by
+    (virtual time, sequence number); the sequence number makes ordering
+    of simultaneous events deterministic.  The heap is polymorphic in
+    both key and value; keys are compared with a user-supplied total
+    order supplied at creation time. *)
+
+type ('k, 'v) t
+
+val create : ?initial_capacity:int -> ('k -> 'k -> int) -> ('k, 'v) t
+(** [create cmp] is an empty queue ordered by [cmp] (smallest first). *)
+
+val length : ('k, 'v) t -> int
+
+val is_empty : ('k, 'v) t -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** [add t k v] inserts the binding in O(log n). *)
+
+val min : ('k, 'v) t -> ('k * 'v) option
+(** [min t] peeks at the smallest binding without removing it. *)
+
+val pop : ('k, 'v) t -> ('k * 'v) option
+(** [pop t] removes and returns the smallest binding in O(log n). *)
+
+val pop_exn : ('k, 'v) t -> 'k * 'v
+(** [pop_exn t] is [pop] but raises [Invalid_argument] when empty. *)
+
+val clear : ('k, 'v) t -> unit
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** [iter t f] visits every binding in unspecified (heap) order. *)

@@ -1,0 +1,34 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Accumulates count/mean/variance/min/max in O(1) space; used for the
+    per-metric summaries printed by the experiment harnesses. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is the summary of the union of both samples (Chan et
+    al.'s parallel variance combination). *)
+
+val count : t -> int
+
+val mean : t -> float
+(** [mean t] is [nan] when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); [nan] when count < 2. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [min t] is [infinity] when empty. *)
+
+val max : t -> float
+(** [max t] is [neg_infinity] when empty. *)
+
+val total : t -> float
+
+val pp : Format.formatter -> t -> unit

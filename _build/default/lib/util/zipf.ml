@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  cdf : float array;  (* cdf.(i) = P(rank <= i) *)
+  pmf : float array;
+}
+
+let make ~n ~theta =
+  assert (n > 0);
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let pmf = Array.map (fun x -> x /. total) w in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i p ->
+      acc := !acc +. p;
+      cdf.(i) <- !acc)
+    pmf;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf; pmf }
+
+let n t = t.n
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* binary search for the first index with cdf >= u *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 (t.n - 1)
+
+let probability t rank = t.pmf.(rank)

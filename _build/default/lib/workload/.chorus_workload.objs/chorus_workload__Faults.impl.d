@@ -1,0 +1,1 @@
+lib/workload/faults.ml: Chorus Chorus_util List

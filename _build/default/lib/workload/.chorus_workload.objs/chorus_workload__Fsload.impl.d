@@ -1,0 +1,1 @@
+lib/workload/fsload.ml: Char Chorus Chorus_fsspec Chorus_util Hashtbl List Option Printf Result String

@@ -1,0 +1,1 @@
+lib/workload/fsload.mli: Chorus_fsspec Chorus_util

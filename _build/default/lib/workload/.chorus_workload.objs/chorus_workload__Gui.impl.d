@@ -1,0 +1,1 @@
+lib/workload/gui.ml: Chorus Chorus_util Queue

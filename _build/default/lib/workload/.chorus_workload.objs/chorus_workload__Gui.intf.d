@@ -1,0 +1,1 @@
+lib/workload/gui.mli: Chorus_util

@@ -1,0 +1,1 @@
+lib/workload/mapred.ml: Array Chorus Chorus_baseline Chorus_util Hashtbl List Option Printf

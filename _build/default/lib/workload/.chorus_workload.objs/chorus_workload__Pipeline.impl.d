@@ -1,0 +1,1 @@
+lib/workload/pipeline.ml: Chorus Chorus_util Printf

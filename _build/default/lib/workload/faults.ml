@@ -1,0 +1,37 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Rng = Chorus_util.Rng
+
+type config = { mean_interval : int; crashes : int; seed : int }
+
+type t = {
+  mutable injected : int;
+  mutable log : int list;  (** reversed *)
+  done_ch : unit Chan.t;
+}
+
+let start cfg ~victims =
+  let t = { injected = 0; log = []; done_ch = Chan.buffered 1 } in
+  let rng = Rng.make cfg.seed in
+  ignore
+    (Fiber.spawn ~label:"fault-injector" ~daemon:true (fun () ->
+         for _ = 1 to cfg.crashes do
+           let gap =
+             1 + int_of_float (Rng.exponential rng (float_of_int cfg.mean_interval))
+           in
+           Fiber.sleep gap;
+           match victims () with
+           | Some f when Fiber.alive f ->
+             t.injected <- t.injected + 1;
+             t.log <- Fiber.now () :: t.log;
+             Fiber.kill f
+           | Some _ | None -> ()
+         done;
+         Chan.send t.done_ch ()));
+  t
+
+let injected t = t.injected
+
+let log t = List.rev t.log
+
+let wait t = Chan.recv t.done_ch

@@ -1,0 +1,26 @@
+(** Failure injection.
+
+    Kills victim fibers at exponentially distributed intervals —
+    the component-crash load for the supervision/availability
+    experiment (E10).  Deterministic in the seed. *)
+
+type config = {
+  mean_interval : int;  (** mean cycles between injected crashes *)
+  crashes : int;  (** how many to inject in total *)
+  seed : int;
+}
+
+type t
+
+val start : config -> victims:(unit -> Chorus.Fiber.t option) -> t
+(** [victims] picks the next fiber to kill (e.g. a random live service
+    from a registry); [None] skips that injection.  The injector runs
+    as a daemon fiber. *)
+
+val injected : t -> int
+
+val log : t -> int list
+(** Injection times, oldest first. *)
+
+val wait : t -> unit
+(** Block until all configured crashes have been injected. *)

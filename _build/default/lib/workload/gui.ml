@@ -1,0 +1,150 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Histogram = Chorus_util.Histogram
+
+type config = {
+  input_events : int;
+  app_updates : int;
+  event_work : int;
+  render_work : int;
+  input_gap : int;
+  update_gap : int;
+}
+
+let default_config =
+  { input_events = 200;
+    app_updates = 200;
+    event_work = 400;
+    render_work = 600;
+    input_gap = 2_000;
+    update_gap = 2_500 }
+
+type result = {
+  update_latency : Histogram.t;
+  input_latency : Histogram.t;
+  control_transfers : int;
+}
+
+type damage = Input_damage of int | Update_damage of int  (** birth time *)
+
+let run_peer cfg =
+  let input_ch = Chan.buffered 8 in
+  let damage_ch = Chan.buffered 8 in
+  let update_latency = Histogram.create () in
+  let input_latency = Histogram.create () in
+  let transfers = ref 0 in
+  let total_damage = cfg.input_events + cfg.app_updates in
+  (* the application: services input and its own update timer with
+     choice, as peers *)
+  let app =
+    Fiber.spawn ~label:"app" (fun () ->
+        let inputs_left = ref cfg.input_events in
+        let updates_left = ref cfg.app_updates in
+        while !inputs_left > 0 || !updates_left > 0 do
+          let cases = [] in
+          let cases =
+            if !inputs_left > 0 then
+              Chan.recv_case input_ch (fun stamp ->
+                  Fiber.work cfg.event_work;
+                  Histogram.record input_latency (Fiber.now () - stamp);
+                  decr inputs_left;
+                  incr transfers;
+                  Chan.send damage_ch (Input_damage stamp))
+              :: cases
+            else cases
+          in
+          let cases =
+            if !updates_left > 0 then
+              Chan.after cfg.update_gap (fun () ->
+                  decr updates_left;
+                  incr transfers;
+                  Chan.send damage_ch (Update_damage (Fiber.now ())))
+              :: cases
+            else cases
+          in
+          Chan.choose cases
+        done)
+  in
+  (* the display: generates input, renders damage, also with choice *)
+  let display =
+    Fiber.spawn ~label:"display" (fun () ->
+        let to_send = ref cfg.input_events in
+        let rendered = ref 0 in
+        while !rendered < total_damage do
+          let cases =
+            [ Chan.recv_case damage_ch (fun d ->
+                  Fiber.work cfg.render_work;
+                  incr rendered;
+                  match d with
+                  | Update_damage birth ->
+                    Histogram.record update_latency (Fiber.now () - birth)
+                  | Input_damage _ -> ()) ]
+          in
+          let cases =
+            if !to_send > 0 then
+              Chan.after cfg.input_gap (fun () ->
+                  decr to_send;
+                  incr transfers;
+                  Chan.send input_ch (Fiber.now ()))
+              :: cases
+            else cases
+          in
+          Chan.choose cases
+        done)
+  in
+  ignore (Fiber.join app);
+  ignore (Fiber.join display);
+  { update_latency; input_latency; control_transfers = !transfers }
+
+let run_hierarchical cfg =
+  (* the app is a library under the display's loop: input events call
+     down into it synchronously; app-originated updates can only be
+     queued (by a timer fiber standing in for the timer interrupt) and
+     wait for the display to poll between events *)
+  let update_latency = Histogram.create () in
+  let input_latency = Histogram.create () in
+  let transfers = ref 0 in
+  let pending : int Queue.t = Queue.create () in
+  let timer =
+    Fiber.spawn ~label:"timer" (fun () ->
+        for _ = 1 to cfg.app_updates do
+          Fiber.sleep cfg.update_gap;
+          Queue.push (Fiber.now ()) pending
+        done)
+  in
+  let display =
+    Fiber.spawn ~label:"display" (fun () ->
+        let app_handle_input stamp =
+          (* synchronous call down into the app library *)
+          Fiber.call (fun () ->
+              Fiber.work cfg.event_work;
+              Histogram.record input_latency (Fiber.now () - stamp))
+        in
+        let poll_updates () =
+          incr transfers;
+          while not (Queue.is_empty pending) do
+            let birth = Queue.pop pending in
+            Fiber.work cfg.render_work;
+            Histogram.record update_latency (Fiber.now () - birth)
+          done
+        in
+        for _ = 1 to cfg.input_events do
+          Fiber.sleep cfg.input_gap;
+          let stamp = Fiber.now () in
+          app_handle_input stamp;
+          Fiber.work cfg.render_work;
+          (* only now does the loop get a chance to notice queued
+             app-side updates *)
+          poll_updates ()
+        done;
+        (* keep polling until the timer source has drained *)
+        while
+          Histogram.count update_latency < cfg.app_updates
+        do
+          Fiber.sleep cfg.input_gap;
+          poll_updates ()
+        done)
+  in
+  ignore (Fiber.join timer);
+  ignore (Fiber.join display);
+  { update_latency; input_latency; control_transfers = !transfers }

@@ -1,0 +1,38 @@
+(** GUI peer-messaging workload (paper Section 3.1 / Newsqueak).
+
+    An application and a display server exchange traffic in {e both}
+    directions: input events flow display → app, damage/redraw
+    requests flow app → display, and both endpoints also generate
+    spontaneous traffic (timers redrawing, async input).
+
+    - {!run_peer}: the paper's structure — two peer fibers, a channel
+      each way, [choice] to service whichever direction is ready.
+    - {!run_hierarchical}: the conventional structure — the app is a
+      library under the display's event loop; app-initiated updates
+      can only be queued and are picked up when the display next polls
+      between input events, adding latency and control transfers.
+
+    E11 compares latency of app-initiated updates. *)
+
+type config = {
+  input_events : int;  (** display-originated events *)
+  app_updates : int;  (** app-originated (timer) updates *)
+  event_work : int;  (** app compute per input event *)
+  render_work : int;  (** display compute per damage *)
+  input_gap : int;  (** cycles between input events *)
+  update_gap : int;  (** cycles between app timer updates *)
+}
+
+val default_config : config
+
+type result = {
+  update_latency : Chorus_util.Histogram.t;
+      (** app-update birth -> rendered *)
+  input_latency : Chorus_util.Histogram.t;  (** input -> handled *)
+  control_transfers : int;  (** fiber switches attributable to the
+                                structure (messages or polls) *)
+}
+
+val run_peer : config -> result
+
+val run_hierarchical : config -> result

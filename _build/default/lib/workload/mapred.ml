@@ -1,0 +1,127 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Rng = Chorus_util.Rng
+module Lock = Chorus_baseline.Lock
+module Shm = Chorus_baseline.Shm
+
+type config = {
+  chunks : int;
+  words_per_chunk : int;
+  vocabulary : int;
+  reducers : int;
+  lock_shards : int;
+  seed : int;
+}
+
+let default_config =
+  { chunks = 16;
+    words_per_chunk = 500;
+    vocabulary = 200;
+    reducers = 4;
+    lock_shards = 4;
+    seed = 11 }
+
+type result = { distinct : int; total : int; checksum : int }
+
+(* word i of chunk c, deterministic in the seed *)
+let chunk_words cfg c =
+  let rng = Rng.make (cfg.seed + (c * 65537)) in
+  Array.init cfg.words_per_chunk (fun _ -> Rng.int rng cfg.vocabulary)
+
+let result_of_counts counts =
+  let distinct = ref 0 and total = ref 0 and checksum = ref 0 in
+  Hashtbl.iter
+    (fun w n ->
+      incr distinct;
+      total := !total + n;
+      checksum := !checksum lxor Hashtbl.hash (w, n))
+    counts;
+  { distinct = !distinct; total = !total; checksum = !checksum }
+
+(* the per-word CPU cost of "parsing" *)
+let parse_cost = 20
+
+let run_messages cfg =
+  let to_reducer =
+    Array.init cfg.reducers (fun i ->
+        Chan.unbounded ~label:(Printf.sprintf "shuffle-%d" i) ())
+  in
+  let done_ch = Chan.unbounded () in
+  let reducer_out = Chan.unbounded () in
+  (* reducers *)
+  let reducers =
+    Array.to_list
+      (Array.mapi
+         (fun _i ch ->
+           Fiber.spawn ~label:"reducer" (fun () ->
+               let counts = Hashtbl.create 64 in
+               let rec loop () =
+                 match Chan.recv ch with
+                 | exception Chan.Closed ->
+                   Chan.send reducer_out counts
+                 | w ->
+                   Fiber.work 10;
+                   Hashtbl.replace counts w
+                     (1 + Option.value ~default:0 (Hashtbl.find_opt counts w));
+                   loop ()
+               in
+               loop ()))
+         to_reducer)
+  in
+  (* mappers *)
+  let mappers =
+    List.init cfg.chunks (fun c ->
+        Fiber.spawn ~label:"mapper" (fun () ->
+            let words = chunk_words cfg c in
+            Array.iter
+              (fun w ->
+                Fiber.work parse_cost;
+                Chan.send ~words:2 to_reducer.(w mod cfg.reducers) w)
+              words;
+            Chan.send done_ch ()))
+  in
+  List.iter (fun f -> ignore (Fiber.join f)) mappers;
+  for _ = 1 to cfg.chunks do
+    Chan.recv done_ch
+  done;
+  Array.iter Chan.close to_reducer;
+  let merged = Hashtbl.create 256 in
+  for _ = 1 to cfg.reducers do
+    let counts = Chan.recv reducer_out in
+    Hashtbl.iter
+      (fun w n ->
+        Hashtbl.replace merged w
+          (n + Option.value ~default:0 (Hashtbl.find_opt merged w)))
+      counts
+  done;
+  List.iter (fun f -> ignore (Fiber.join f)) reducers;
+  result_of_counts merged
+
+let run_shared cfg =
+  (* one shared table, sharded locks; every update is a coherence-
+     charged RMW on the word's shard *)
+  let table : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let locks =
+    Array.init cfg.lock_shards (fun i ->
+        Lock.create ~label:(Printf.sprintf "wc-shard-%d" i) ())
+  in
+  let lines = Array.init cfg.lock_shards (fun _ -> Shm.create 0) in
+  let mappers =
+    List.init cfg.chunks (fun c ->
+        Fiber.spawn ~label:"mapper" (fun () ->
+            let words = chunk_words cfg c in
+            Array.iter
+              (fun w ->
+                Fiber.work parse_cost;
+                let s = w mod cfg.lock_shards in
+                Lock.with_lock locks.(s) (fun () ->
+                    (* touch the shared line, then update *)
+                    ignore (Shm.update lines.(s) (fun x -> x + 1));
+                    Fiber.work 10;
+                    Hashtbl.replace table w
+                      (1
+                      + Option.value ~default:0 (Hashtbl.find_opt table w))))
+              words))
+  in
+  List.iter (fun f -> ignore (Fiber.join f)) mappers;
+  result_of_counts table

@@ -1,0 +1,35 @@
+(** Map/Reduce word count — the shared-nothing workload.
+
+    Paper Section 1: "Moving to the cloud, we also find that
+    Map/Reduce is based on a shared-nothing model."  Two
+    implementations of the same computation:
+
+    - {!run_messages}: mappers partition (word, 1) pairs by hash and
+      send them to reducer fibers over channels — pure shared-nothing;
+    - {!run_shared}: mappers fold into one shared hash table guarded
+      by sharded locks on the simulated coherent memory — the
+      conventional approach.
+
+    E13 compares their scaling. *)
+
+type config = {
+  chunks : int;  (** number of input chunks = mapper count *)
+  words_per_chunk : int;
+  vocabulary : int;  (** distinct words *)
+  reducers : int;
+  lock_shards : int;  (** sharding for the shared-memory variant *)
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  distinct : int;  (** distinct words counted *)
+  total : int;  (** total occurrences (= chunks * words_per_chunk) *)
+  checksum : int;  (** order-independent digest of the counts *)
+}
+
+val run_messages : config -> result
+
+val run_shared : config -> result
+(** Same [result] for the same config/seed — tests assert it. *)

@@ -1,0 +1,63 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Histogram = Chorus_util.Histogram
+
+type config = {
+  stages : int;
+  items : int;
+  work_per_stage : int;
+  capacity : int;
+  words : int;
+  pair_affinity : bool;
+}
+
+let default_config =
+  { stages = 4; items = 500; work_per_stage = 300; capacity = 4; words = 8;
+    pair_affinity = false }
+
+type result = { makespan_hint : int; item_latency : Histogram.t }
+
+let make_chan cfg =
+  if cfg.capacity = 0 then Chan.rendezvous ()
+  else Chan.buffered cfg.capacity
+
+let run cfg =
+  if cfg.stages < 1 then invalid_arg "Pipeline.run: stages >= 1";
+  let first = make_chan cfg in
+  (* each item carries its injection timestamp *)
+  let rec build_stage input n =
+    if n = 0 then input
+    else begin
+      let output = make_chan cfg in
+      let affinity = if cfg.pair_affinity then Some (n / 2) else None in
+      ignore
+        (Fiber.spawn ?affinity ~label:(Printf.sprintf "stage-%d" n) (fun () ->
+             let rec loop () =
+               match Chan.recv input with
+               | exception Chan.Closed -> Chan.close output
+               | stamp ->
+                 Fiber.work cfg.work_per_stage;
+                 Chan.send ~words:cfg.words output stamp;
+                 loop ()
+             in
+             loop ()));
+      build_stage output (n - 1)
+    end
+  in
+  let last = build_stage first cfg.stages in
+  let latency = Histogram.create () in
+  let sink =
+    Fiber.spawn ~label:"sink" (fun () ->
+        for _ = 1 to cfg.items do
+          let stamp = Chan.recv last in
+          Histogram.record latency (Fiber.now () - stamp)
+        done)
+  in
+  let t0 = Fiber.now () in
+  for _ = 1 to cfg.items do
+    Chan.send ~words:cfg.words first (Fiber.now ())
+  done;
+  ignore (Fiber.join sink);
+  let dt = Fiber.now () - t0 in
+  Chan.close first;
+  { makespan_hint = dt; item_latency = latency }

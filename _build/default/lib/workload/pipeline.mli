@@ -1,0 +1,29 @@
+(** N-stage pipeline workload.
+
+    A classic channels-program shape: a source feeds items through a
+    chain of worker stages to a sink.  Used by the placement experiment
+    (E8: stages want to sit near their neighbours) and the
+    blocking-vs-buffered experiment (E5: rendezvous hand-offs stall the
+    pipeline, buffering decouples it). *)
+
+type config = {
+  stages : int;
+  items : int;
+  work_per_stage : int;  (** compute cycles per item per stage *)
+  capacity : int;  (** inter-stage channel capacity; 0 = rendezvous *)
+  words : int;  (** message payload size *)
+  pair_affinity : bool;
+      (** tag adjacent stages with a shared affinity key so gang
+          placement can keep communicating neighbours together *)
+}
+
+val default_config : config
+
+type result = {
+  makespan_hint : int;  (** cycles from first send to last sink recv *)
+  item_latency : Chorus_util.Histogram.t;  (** per-item end-to-end *)
+}
+
+val run : config -> result
+(** Build the pipeline (fibers placed by the run's policy), push the
+    items through, tear it down.  Call inside a run. *)

@@ -1,0 +1,1 @@
+test/core/test_core.ml: Alcotest Chorus Chorus_machine Chorus_sched Fun Gen List Printf QCheck QCheck_alcotest

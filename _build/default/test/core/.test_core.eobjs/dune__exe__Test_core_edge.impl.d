@@ -1,0 +1,1 @@
+test/core/test_core_edge.ml: Alcotest Chorus Chorus_machine Chorus_sched List Printf String

@@ -1,0 +1,1 @@
+test/core/test_par.ml: Alcotest Array Chorus Chorus_machine Chorus_sched Fun List

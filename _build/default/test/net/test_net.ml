@@ -1,0 +1,327 @@
+(* Tests for the network substrate: fabric delivery/loss, port demux,
+   reliable calls over loss, and the replicated KV service. *)
+
+module Machine = Chorus_machine.Machine
+module Policy = Chorus_sched.Policy
+module Runtime = Chorus.Runtime
+module Runstats = Chorus.Runstats
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Fabric = Chorus_net.Fabric
+module Stack = Chorus_net.Stack
+module Netkv = Chorus_net.Netkv
+
+let run ?(cores = 16) main =
+  Runtime.run
+    (Runtime.config ~policy:(Policy.round_robin ()) ~seed:21
+       (Machine.mesh ~cores))
+    main
+
+(* ------------------------------------------------------------------ *)
+(* Fabric                                                              *)
+
+let test_fabric_delivers_in_order () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        for i = 1 to 10 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = Fabric.addr b; port = 1; seq = i;
+              payload = Printf.sprintf "msg-%d" i }
+        done;
+        for i = 1 to 10 do
+          let f = Chan.recv (Fabric.rx b) in
+          Alcotest.(check int) "in order" i f.Fabric.seq;
+          Alcotest.(check int) "src stamped" (Fabric.addr a) f.Fabric.src
+        done;
+        Alcotest.(check int) "sent" 10 (Fabric.frames_sent net);
+        Alcotest.(check int) "delivered" 10 (Fabric.frames_delivered net))
+  in
+  ()
+
+let test_fabric_latency () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:20_000 () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        let t0 = Fiber.now () in
+        Fabric.transmit a
+          { Fabric.src = 0; dst = Fabric.addr b; port = 1; seq = 1;
+            payload = "x" };
+        ignore (Chan.recv (Fabric.rx b));
+        Alcotest.(check bool) "wire latency applied" true
+          (Fiber.now () - t0 >= 20_000))
+  in
+  ()
+
+let test_fabric_loses_frames () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~loss:0.5 ~seed:3 () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        for i = 1 to 200 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        (* let the driver drain *)
+        Fiber.sleep 1_000_000;
+        let dropped = Fabric.frames_dropped net in
+        Alcotest.(check bool)
+          (Printf.sprintf "about half dropped (%d)" dropped)
+          true
+          (dropped > 60 && dropped < 140))
+  in
+  ()
+
+let test_fabric_unknown_dst_dropped () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let a = Fabric.attach net () in
+        Fabric.transmit a
+          { Fabric.src = 0; dst = 99; port = 1; seq = 1; payload = "" };
+        Fiber.sleep 100_000;
+        Alcotest.(check int) "dropped" 1 (Fabric.frames_dropped net))
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Stack                                                               *)
+
+let test_stack_port_demux () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let a = Stack.create net (Fabric.attach net ()) in
+        let b = Stack.create net (Fabric.attach net ()) in
+        let p5 = Stack.listen b ~port:5 in
+        let p6 = Stack.listen b ~port:6 in
+        Stack.send a ~dst:(Stack.addr b) ~port:6 "six";
+        Stack.send a ~dst:(Stack.addr b) ~port:5 "five";
+        let f5 = Chan.recv p5 and f6 = Chan.recv p6 in
+        Alcotest.(check string) "port 5" "five" f5.Fabric.payload;
+        Alcotest.(check string) "port 6" "six" f6.Fabric.payload)
+  in
+  ()
+
+let test_stack_duplicate_listen_rejected () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let a = Stack.create net (Fabric.attach net ()) in
+        ignore (Stack.listen a ~port:7);
+        match Stack.listen a ~port:7 with
+        | _ -> Alcotest.fail "duplicate listen accepted"
+        | exception Invalid_argument _ -> ())
+  in
+  ()
+
+let test_reliable_call_clean_network () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server ~port:9 (fun ~src:_ req -> req ^ "!")));
+        (match Stack.call client ~dst:(Stack.addr server) ~port:9 "hello" with
+        | Some r -> Alcotest.(check string) "reply" "hello!" r
+        | None -> Alcotest.fail "call failed on clean network");
+        Alcotest.(check int) "no retransmissions" 0
+          (Stack.rel_stats client).Stack.retransmissions)
+  in
+  ()
+
+let test_reliable_call_over_loss () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~loss:0.3 ~seed:11 () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        let executed = ref 0 in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server ~port:9 (fun ~src:_ req ->
+                   incr executed;
+                   "ok:" ^ req)));
+        let ok = ref 0 in
+        for i = 1 to 50 do
+          match
+            Stack.call client
+              ~dst:(Stack.addr server)
+              ~port:9 ~timeout:30_000 ~attempts:10
+              (string_of_int i)
+          with
+          | Some r ->
+            Alcotest.(check string) "right reply" ("ok:" ^ string_of_int i) r;
+            incr ok
+          | None -> ()
+        done;
+        Alcotest.(check int) "all calls eventually succeed" 50 !ok;
+        let st = Stack.rel_stats client in
+        Alcotest.(check bool) "loss forced retransmissions" true
+          (st.Stack.retransmissions > 0);
+        (* exactly-once: despite retries, every request executed once *)
+        Alcotest.(check int) "handler executed exactly once per call" 50
+          !executed)
+  in
+  ()
+
+let test_reliable_call_gives_up () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        (* no server at all *)
+        match
+          Stack.call client ~dst:55 ~port:9 ~timeout:5_000 ~attempts:3 "x"
+        with
+        | None ->
+          Alcotest.(check int) "failure counted" 1
+            (Stack.rel_stats client).Stack.failures
+        | Some _ -> Alcotest.fail "reply from nowhere")
+  in
+  ()
+
+let test_concurrent_calls_not_crossed () =
+  (* concurrent callers on one stack must each get their own reply *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~loss:0.2 ~seed:5 () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server ~port:4 (fun ~src:_ req -> "echo:" ^ req)));
+        let fibers =
+          List.init 8 (fun i ->
+              Fiber.spawn (fun () ->
+                  for k = 1 to 10 do
+                    let req = Printf.sprintf "%d-%d" i k in
+                    match
+                      Stack.call client ~dst:(Stack.addr server) ~port:4
+                        ~timeout:30_000 ~attempts:10 req
+                    with
+                    | Some r ->
+                      Alcotest.(check string) "own reply" ("echo:" ^ req) r
+                    | None -> Alcotest.fail "call failed"
+                  done))
+        in
+        List.iter (fun f -> ignore (Fiber.join f)) fibers)
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Netkv                                                               *)
+
+let test_kv_basic () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let s = Stack.create net (Fabric.attach net ()) in
+        let c = Stack.create net (Fabric.attach net ()) in
+        let server = Netkv.start_server s ~port:100 in
+        let kv = Netkv.client c ~server_addr:(Stack.addr s) ~port:100 in
+        Alcotest.(check bool) "put" true (Netkv.put kv "k1" "v1");
+        Alcotest.(check (option (option string))) "get hit"
+          (Some (Some "v1")) (Netkv.get kv "k1");
+        Alcotest.(check (option (option string))) "get miss" (Some None)
+          (Netkv.get kv "nope");
+        Alcotest.(check bool) "overwrite" true (Netkv.put kv "k1" "v2");
+        Alcotest.(check (option (option string))) "updated" (Some (Some "v2"))
+          (Netkv.get kv "k1");
+        Alcotest.(check int) "server counted" 2 (Netkv.puts_served server))
+  in
+  ()
+
+let test_kv_replication () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~loss:0.15 ~seed:9 () in
+        let primary_stack = Stack.create net (Fabric.attach net ()) in
+        let backup_stack = Stack.create net (Fabric.attach net ()) in
+        let client_stack = Stack.create net (Fabric.attach net ()) in
+        let backup = Netkv.start_server backup_stack ~port:100 in
+        let _primary =
+          Netkv.start_server ~backup:(Stack.addr backup_stack) primary_stack
+            ~port:100
+        in
+        let kv =
+          Netkv.client client_stack ~server_addr:(Stack.addr primary_stack)
+            ~port:100
+        in
+        for i = 1 to 20 do
+          Alcotest.(check bool) "replicated put" true
+            (Netkv.put kv (Printf.sprintf "k%d" i) (string_of_int i))
+        done;
+        Alcotest.(check int) "backup holds every put" 20
+          (Netkv.replications backup);
+        (* reads served by the backup see the replicated data *)
+        let kv_b =
+          Netkv.client client_stack ~server_addr:(Stack.addr backup_stack)
+            ~port:100
+        in
+        Alcotest.(check (option (option string))) "replica read"
+          (Some (Some "7")) (Netkv.get kv_b "k7"))
+  in
+  ()
+
+let prop_lossless_fabric_delivers_everything =
+  QCheck.Test.make ~name:"loss=0 fabric delivers every frame in order"
+    ~count:40
+    QCheck.(list_of_size Gen.(1 -- 30) (pair (int_range 0 4) small_nat))
+    (fun sends ->
+      let ok = ref true in
+      let (_ : Runstats.t) =
+        run (fun () ->
+            let net = Fabric.create ~latency:500 () in
+            let nics = Array.init 5 (fun _ -> Fabric.attach net ()) in
+            let sink = Fabric.attach net () in
+            List.iteri
+              (fun i (src, payload) ->
+                Fabric.transmit nics.(src)
+                  { Fabric.src = 0; dst = Fabric.addr sink; port = 1;
+                    seq = i; payload = string_of_int payload })
+              sends;
+            (* drain: every frame must arrive, per-sender order kept *)
+            let last_seq = Array.make 5 (-1) in
+            for _ = 1 to List.length sends do
+              let f = Chan.recv (Fabric.rx sink) in
+              let src = f.Fabric.src in
+              if f.Fabric.seq <= last_seq.(src) then ok := false;
+              last_seq.(src) <- f.Fabric.seq
+            done;
+            if Fabric.frames_dropped net <> 0 then ok := false)
+      in
+      !ok)
+
+let () =
+  Alcotest.run "chorus-net"
+    [ ( "fabric",
+        [ Alcotest.test_case "in-order delivery" `Quick
+            test_fabric_delivers_in_order;
+          Alcotest.test_case "wire latency" `Quick test_fabric_latency;
+          Alcotest.test_case "loss" `Quick test_fabric_loses_frames;
+          Alcotest.test_case "unknown dst" `Quick
+            test_fabric_unknown_dst_dropped;
+          QCheck_alcotest.to_alcotest
+            prop_lossless_fabric_delivers_everything ] );
+      ( "stack",
+        [ Alcotest.test_case "port demux" `Quick test_stack_port_demux;
+          Alcotest.test_case "duplicate listen" `Quick
+            test_stack_duplicate_listen_rejected;
+          Alcotest.test_case "call clean" `Quick
+            test_reliable_call_clean_network;
+          Alcotest.test_case "call over 30% loss" `Quick
+            test_reliable_call_over_loss;
+          Alcotest.test_case "call gives up" `Quick
+            test_reliable_call_gives_up;
+          Alcotest.test_case "concurrent calls" `Quick
+            test_concurrent_calls_not_crossed ] );
+      ( "netkv",
+        [ Alcotest.test_case "basic ops" `Quick test_kv_basic;
+          Alcotest.test_case "replication over loss" `Quick
+            test_kv_replication ] ) ]

@@ -1,0 +1,433 @@
+(* Tests for protocol machinery: session types, monitors, bounded
+   exploration. *)
+
+module Ltype = Chorus_proto.Ltype
+module Monitor = Chorus_proto.Monitor
+module Explore = Chorus_proto.Explore
+module Machine = Chorus_machine.Machine
+module Runtime = Chorus.Runtime
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+
+let run main =
+  ignore (Runtime.run (Runtime.config (Machine.mesh ~cores:4)) main)
+
+(* ------------------------------------------------------------------ *)
+(* Ltype                                                               *)
+
+let ping = Ltype.send "ping" (Ltype.recv "pong" Ltype.End)
+
+let test_well_formed () =
+  Alcotest.(check bool) "simple ok" true (Ltype.well_formed ping = Ok ());
+  let looped = Ltype.loop "x" (Ltype.send "a" (Ltype.Var "x")) in
+  Alcotest.(check bool) "guarded loop ok" true
+    (Ltype.well_formed looped = Ok ());
+  (match Ltype.well_formed (Ltype.Var "free") with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "free var accepted");
+  (match Ltype.well_formed (Ltype.loop "x" (Ltype.Var "x")) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unguarded recursion accepted");
+  match Ltype.well_formed (Ltype.Send [ ("a", Ltype.End); ("a", Ltype.End) ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate label accepted"
+
+let test_dual_involution () =
+  Alcotest.(check bool) "dual o dual = id" true
+    (Ltype.dual (Ltype.dual ping) = ping)
+
+let test_compatible_dual () =
+  Alcotest.(check bool) "ping compatible with its dual" true
+    (Ltype.compatible ping (Ltype.dual ping));
+  Alcotest.(check bool) "ping not compatible with itself" false
+    (Ltype.compatible ping ping)
+
+let test_compatible_subtyping () =
+  (* a sender offering fewer labels than the receiver handles is fine *)
+  let narrow = Ltype.send "a" Ltype.End in
+  let wide = Ltype.Recv [ ("a", Ltype.End); ("b", Ltype.End) ] in
+  Alcotest.(check bool) "narrow sender ok" true
+    (Ltype.compatible narrow wide);
+  (* the reverse is not *)
+  let wide_sender = Ltype.Send [ ("a", Ltype.End); ("b", Ltype.End) ] in
+  let narrow_receiver = Ltype.recv "a" Ltype.End in
+  Alcotest.(check bool) "wide sender rejected" false
+    (Ltype.compatible wide_sender narrow_receiver)
+
+let test_compatible_recursive () =
+  let client =
+    Ltype.loop "x"
+      (Ltype.Send [ ("more", Ltype.recv "item" (Ltype.Var "x"));
+                    ("stop", Ltype.End) ])
+  in
+  Alcotest.(check bool) "recursive duality" true
+    (Ltype.compatible client (Ltype.dual client))
+
+let prop_dual_compatible =
+  (* random protocol generator: every generated protocol must be
+     compatible with its dual *)
+  let rec gen_ltype depth st =
+    let open QCheck.Gen in
+    if depth = 0 then Ltype.End
+    else begin
+      let label i = Printf.sprintf "l%d" i in
+      let branches n =
+        List.init (1 + (n mod 3)) (fun i ->
+            (label i, gen_ltype (depth - 1) st))
+      in
+      match int_bound 3 st with
+      | 0 -> Ltype.End
+      | 1 -> Ltype.Send (branches (int_bound 5 st))
+      | _ -> Ltype.Recv (branches (int_bound 5 st))
+    end
+  in
+  QCheck.Test.make ~name:"generated protocols compatible with dual"
+    ~count:100
+    (QCheck.make (gen_ltype 4))
+    (fun t ->
+      QCheck.assume (Ltype.well_formed t = Ok ());
+      Ltype.compatible t (Ltype.dual t))
+
+(* ------------------------------------------------------------------ *)
+(* Monitor                                                             *)
+
+type msg = Ping | Pong
+
+let label_of = function Ping -> "ping" | Pong -> "pong"
+
+let test_monitor_accepts_conforming () =
+  run (fun () ->
+      let c2s = Chan.unbounded () and s2c = Chan.unbounded () in
+      let client =
+        Monitor.create ~role:"client" ~spec:ping ~label_of ~rx:s2c c2s
+      in
+      let server =
+        Monitor.create ~role:"server" ~spec:(Ltype.dual ping) ~label_of
+          ~rx:c2s s2c
+      in
+      let srv =
+        Fiber.spawn (fun () ->
+            match Monitor.recv server with
+            | Ping -> Monitor.send server Pong
+            | Pong -> Alcotest.fail "bad message")
+      in
+      Monitor.send client Ping;
+      (match Monitor.recv client with
+      | Pong -> ()
+      | Ping -> Alcotest.fail "expected pong");
+      ignore (Fiber.join srv);
+      Alcotest.(check bool) "client finished" true (Monitor.finished client);
+      Alcotest.(check bool) "server finished" true (Monitor.finished server);
+      Alcotest.(check int) "no violations" 0 (Monitor.violations client))
+
+let test_monitor_rejects_wrong_label () =
+  run (fun () ->
+      let ch = Chan.unbounded () in
+      let m = Monitor.create ~role:"client" ~spec:ping ~label_of ch in
+      Alcotest.(check bool) "wrong label raises" true
+        (match Monitor.send m Pong with
+        | () -> false
+        | exception Monitor.Violation _ -> true);
+      Alcotest.(check int) "violation counted" 1 (Monitor.violations m))
+
+let test_monitor_rejects_send_after_end () =
+  run (fun () ->
+      let ch = Chan.unbounded () in
+      let m =
+        Monitor.create ~role:"c" ~spec:(Ltype.send "a" Ltype.End) ~label_of:(fun _ -> "a") ch
+      in
+      Monitor.send m Ping;
+      match Monitor.send m Ping with
+      | () -> Alcotest.fail "send after end accepted"
+      | exception Monitor.Violation _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Explore                                                             *)
+
+let test_explore_finds_buffer_overflow_block () =
+  (* producer sends 3 into capacity-1 channel nobody drains: stuck *)
+  let sys =
+    { Explore.processes =
+        [ { Explore.pname = "producer";
+            start = 0;
+            final = [ 3 ];
+            transitions =
+              [ (0, Explore.Send ("c", "m"), 1);
+                (1, Explore.Send ("c", "m"), 2);
+                (2, Explore.Send ("c", "m"), 3) ] } ];
+      channels = [ { Explore.cname = "c"; capacity = 1 } ] }
+  in
+  match Explore.check sys with
+  | Explore.Deadlock { stuck; _ } ->
+    Alcotest.(check bool) "producer stuck" true
+      (List.exists (fun s -> String.length s > 0) stuck)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_explore_clean_pipeline () =
+  let sys =
+    { Explore.processes =
+        [ { Explore.pname = "a";
+            start = 0;
+            final = [ 2 ];
+            transitions =
+              [ (0, Explore.Send ("c", "x"), 1);
+                (1, Explore.Send ("c", "x"), 2) ] };
+          { Explore.pname = "b";
+            start = 0;
+            final = [ 2 ];
+            transitions =
+              [ (0, Explore.Recv ("c", "x"), 1);
+                (1, Explore.Recv ("c", "x"), 2) ] } ];
+      channels = [ { Explore.cname = "c"; capacity = 2 } ] }
+  in
+  match Explore.check sys with
+  | Explore.Ok_no_deadlock { states_explored } ->
+    Alcotest.(check bool) "explored several states" true (states_explored > 3)
+  | _ -> Alcotest.fail "expected clean"
+
+let test_explore_rendezvous_pairing () =
+  (* rendezvous: send fires only with a matching receiver *)
+  let sys =
+    { Explore.processes =
+        [ { Explore.pname = "a";
+            start = 0;
+            final = [ 1 ];
+            transitions = [ (0, Explore.Send ("r", "go"), 1) ] };
+          { Explore.pname = "b";
+            start = 0;
+            final = [ 1 ];
+            transitions = [ (0, Explore.Recv ("r", "go"), 1) ] } ];
+      channels = [ { Explore.cname = "r"; capacity = 0 } ] }
+  in
+  match Explore.check sys with
+  | Explore.Ok_no_deadlock _ -> ()
+  | _ -> Alcotest.fail "rendezvous should pair"
+
+let test_explore_label_mismatch_deadlock () =
+  let sys =
+    { Explore.processes =
+        [ { Explore.pname = "a";
+            start = 0;
+            final = [ 1 ];
+            transitions = [ (0, Explore.Send ("r", "go"), 1) ] };
+          { Explore.pname = "b";
+            start = 0;
+            final = [ 1 ];
+            transitions = [ (0, Explore.Recv ("r", "halt"), 1) ] } ];
+      channels = [ { Explore.cname = "r"; capacity = 0 } ] }
+  in
+  match Explore.check sys with
+  | Explore.Deadlock _ -> ()
+  | _ -> Alcotest.fail "label mismatch should deadlock"
+
+let test_explore_budget () =
+  (* a process that counts forever in a big product space *)
+  let counter name =
+    { Explore.pname = name;
+      start = 0;
+      final = [ 0 ];
+      transitions =
+        List.concat
+          (List.init 50 (fun i -> [ (i, Explore.Tau, (i + 1) mod 50) ])) }
+  in
+  let sys =
+    { Explore.processes = [ counter "a"; counter "b"; counter "c" ];
+      channels = [] }
+  in
+  match Explore.check ~max_states:100 sys with
+  | Explore.Budget_exhausted { states_explored } ->
+    Alcotest.(check bool) "stopped at budget" true (states_explored <= 101)
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let test_explore_trace_is_replayable () =
+  let sys =
+    { Explore.processes =
+        [ { Explore.pname = "a";
+            start = 0;
+            final = [ 9 ];
+            transitions =
+              [ (0, Explore.Send ("c", "first"), 1);
+                (1, Explore.Send ("c", "second"), 2) ] } ];
+      channels = [ { Explore.cname = "c"; capacity = 2 } ] }
+  in
+  match Explore.check sys with
+  | Explore.Deadlock { trace; _ } ->
+    (* stuck at state 2 (not final): trace shows both sends in order *)
+    Alcotest.(check int) "two steps" 2 (List.length trace);
+    Alcotest.(check bool) "first step mentions first" true
+      (String.length (List.nth trace 0) > 0)
+  | _ -> Alcotest.fail "expected deadlock at non-final state"
+
+(* ------------------------------------------------------------------ *)
+(* Gtype (appended suite)                                              *)
+
+module Gtype = Chorus_proto.Gtype
+
+(* fs asks the allocator for a block; the allocator either grants or
+   refuses; on grant fs tells the cache to zero it *)
+let alloc_proto =
+  Gtype.msg "fs" "alloc" "request"
+    (Gtype.Choice
+       { sender = "alloc";
+         receiver = "fs";
+         branches =
+           [ ("grant", Gtype.msg "fs" "cache" "zero"
+                (Gtype.msg "cache" "fs" "done" Gtype.End));
+             (* the cache is told either way (projection merges the
+                two Recv views by label union) *)
+             ("full", Gtype.msg "fs" "cache" "skip" Gtype.End) ] })
+
+let test_gtype_roles_wf () =
+  Alcotest.(check (list string)) "roles" [ "alloc"; "cache"; "fs" ]
+    (Gtype.roles alloc_proto);
+  Alcotest.(check bool) "well-formed" true
+    (Gtype.well_formed alloc_proto = Ok ());
+  (match Gtype.well_formed (Gtype.msg "a" "a" "x" Gtype.End) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "self-message accepted")
+
+let test_gtype_projection_pairwise_compatible () =
+  (* fs and alloc interact directly: their projections restricted to
+     each other must be checkable; here we verify every projection
+     exists and the two-party sub-protocol is dual *)
+  match Gtype.project_all alloc_proto with
+  | None -> Alcotest.fail "projection failed"
+  | Some projs ->
+    Alcotest.(check int) "three projections" 3 (List.length projs);
+    let fs = List.assoc "fs" projs in
+    (match Ltype.well_formed fs with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("fs projection ill-formed: " ^ e));
+    (* two-party global type: projections are dual-compatible *)
+    let two =
+      Gtype.msg "c" "s" "req"
+        (Gtype.Choice
+           { sender = "s"; receiver = "c";
+             branches = [ ("ok", Gtype.End); ("err", Gtype.End) ] })
+    in
+    (match (Gtype.project two "c", Gtype.project two "s") with
+    | Ok pc, Ok ps ->
+      Alcotest.(check bool) "binary projections compatible" true
+        (Ltype.compatible pc ps)
+    | _ -> Alcotest.fail "binary projection failed")
+
+let test_gtype_unmergeable_rejected () =
+  (* cache behaves differently in branches it cannot observe *)
+  let bad =
+    Gtype.Choice
+      { sender = "a";
+        receiver = "b";
+        branches =
+          [ ("left", Gtype.msg "a" "c" "ping" Gtype.End);
+            ("right", Gtype.End) ] }
+  in
+  match Gtype.project bad "c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unmergeable projection accepted"
+
+let test_gtype_recursion_projection () =
+  let streaming =
+    Gtype.Rec
+      ("x",
+       Gtype.Choice
+         { sender = "producer";
+           receiver = "consumer";
+           branches =
+             [ ("item", Gtype.msg "producer" "consumer" "data" (Gtype.Var "x"));
+               ("eof", Gtype.End) ] })
+  in
+  (match Gtype.project streaming "producer" with
+  | Ok p ->
+    Alcotest.(check bool) "producer loops" true
+      (match p with Ltype.Rec _ -> true | _ -> false)
+  | Error e -> Alcotest.fail e);
+  (* the consumer's merged view offers all labels *)
+  match Gtype.project streaming "consumer" with
+  | Ok (Ltype.Rec (_, Ltype.Recv branches)) ->
+    Alcotest.(check (list string)) "consumer sees all labels"
+      [ "eof"; "item" ]
+      (List.sort compare (List.map fst branches))
+  | Ok _ | Error _ -> Alcotest.fail "consumer projection shape"
+
+(* property: a producer/consumer pair built from any random label
+   sequence is deadlock-free over rendezvous; chopping the last
+   receive off the consumer always deadlocks *)
+let seq_system labels ~truncate =
+  let n = List.length labels in
+  let producer =
+    { Explore.pname = "p";
+      start = 0;
+      final = [ n ];
+      transitions =
+        List.mapi (fun i l -> (i, Explore.Send ("c", l), i + 1)) labels }
+  in
+  let consumer_len = if truncate then n - 1 else n in
+  let consumer =
+    { Explore.pname = "q";
+      start = 0;
+      final = [ consumer_len ];
+      transitions =
+        List.filteri (fun i _ -> i < consumer_len)
+          (List.mapi (fun i l -> (i, Explore.Recv ("c", l), i + 1)) labels) }
+  in
+  { Explore.processes = [ producer; consumer ];
+    channels = [ { Explore.cname = "c"; capacity = 0 } ] }
+
+let prop_explore_matched_sequences_clean =
+  QCheck.Test.make ~name:"matched send/recv sequences are deadlock-free"
+    ~count:100
+    QCheck.(list_of_size Gen.(1 -- 10) (int_range 0 4))
+    (fun xs ->
+      let labels = List.map (Printf.sprintf "l%d") xs in
+      match Explore.check (seq_system labels ~truncate:false) with
+      | Explore.Ok_no_deadlock _ -> true
+      | _ -> false)
+
+let prop_explore_truncated_consumer_deadlocks =
+  QCheck.Test.make ~name:"dropping the last receive always deadlocks"
+    ~count:100
+    QCheck.(list_of_size Gen.(2 -- 10) (int_range 0 4))
+    (fun xs ->
+      let labels = List.map (Printf.sprintf "l%d") xs in
+      match Explore.check (seq_system labels ~truncate:true) with
+      | Explore.Deadlock _ -> true
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "chorus-proto"
+    [ ( "ltype",
+        [ Alcotest.test_case "well-formedness" `Quick test_well_formed;
+          Alcotest.test_case "dual involution" `Quick test_dual_involution;
+          Alcotest.test_case "compatibility" `Quick test_compatible_dual;
+          Alcotest.test_case "subtyping" `Quick test_compatible_subtyping;
+          Alcotest.test_case "recursive" `Quick test_compatible_recursive;
+          qt prop_dual_compatible ] );
+      ( "monitor",
+        [ Alcotest.test_case "conforming session" `Quick
+            test_monitor_accepts_conforming;
+          Alcotest.test_case "wrong label" `Quick
+            test_monitor_rejects_wrong_label;
+          Alcotest.test_case "send after end" `Quick
+            test_monitor_rejects_send_after_end ] );
+      ( "explore",
+        [ Alcotest.test_case "stuck producer" `Quick
+            test_explore_finds_buffer_overflow_block;
+          Alcotest.test_case "clean pipeline" `Quick test_explore_clean_pipeline;
+          Alcotest.test_case "rendezvous pairing" `Quick
+            test_explore_rendezvous_pairing;
+          Alcotest.test_case "label mismatch" `Quick
+            test_explore_label_mismatch_deadlock;
+          Alcotest.test_case "budget" `Quick test_explore_budget;
+          Alcotest.test_case "trace" `Quick test_explore_trace_is_replayable;
+          qt prop_explore_matched_sequences_clean;
+          qt prop_explore_truncated_consumer_deadlocks ] );
+      ( "gtype",
+        [ Alcotest.test_case "roles + wf" `Quick test_gtype_roles_wf;
+          Alcotest.test_case "projection compatible" `Quick
+            test_gtype_projection_pairwise_compatible;
+          Alcotest.test_case "unmergeable rejected" `Quick
+            test_gtype_unmergeable_rejected;
+          Alcotest.test_case "recursion" `Quick
+            test_gtype_recursion_projection ] ) ]
+

@@ -1,0 +1,312 @@
+(* Tests for the utility substrate: RNG, priority queue, deque,
+   histograms, stats, Zipf, table formatting. *)
+
+module Rng = Chorus_util.Rng
+module Pqueue = Chorus_util.Pqueue
+module Deque = Chorus_util.Deque
+module Histogram = Chorus_util.Histogram
+module Stats = Chorus_util.Stats
+module Zipf = Chorus_util.Zipf
+module Tablefmt = Chorus_util.Tablefmt
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.make 123 and b = Rng.make 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.make 7 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let test_rng_bounds () =
+  let r = Rng.make 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-3) 3 in
+    Alcotest.(check bool) "int_in range" true (v >= -3 && v <= 3)
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_uniformity () =
+  (* chi-square-ish sanity: buckets within 3x of each other *)
+  let r = Rng.make 11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true (c > 700 && c < 1400))
+    buckets
+
+let test_rng_exponential_mean () =
+  let r = Rng.make 13 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential r 100.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean approx 100 (got %.1f)" mean)
+    true
+    (mean > 90.0 && mean < 110.0)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create compare in
+  List.iter (fun k -> Pqueue.add q k k) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (k, _) -> drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains any input sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let q = Pqueue.create compare in
+      List.iter (fun x -> Pqueue.add q x ()) xs;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let test_pqueue_fifo_ties () =
+  (* (time, seq) keys with equal time keep sequence order *)
+  let q = Pqueue.create compare in
+  List.iteri (fun i v -> Pqueue.add q (42, i) v) [ "a"; "b"; "c"; "d" ];
+  let rec drain acc =
+    match Pqueue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "tie order" [ "a"; "b"; "c"; "d" ] (drain [])
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+
+let test_deque_basics () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_front d 0;
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop front" (Some 0) (Deque.pop_front d);
+  Alcotest.(check (option int)) "pop back" (Some 2) (Deque.pop_back d);
+  Alcotest.(check int) "length" 1 (Deque.length d)
+
+let prop_deque_model =
+  (* model-check against a list *)
+  QCheck.Test.make ~name:"deque behaves like a list" ~count:200
+    QCheck.(list (pair (int_range 0 3) small_int))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+            Deque.push_back d v;
+            model := !model @ [ v ];
+            true
+          | 1 ->
+            Deque.push_front d v;
+            model := v :: !model;
+            true
+          | 2 -> (
+            let got = Deque.pop_front d in
+            match !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := rest;
+              got = Some x)
+          | _ -> (
+            let got = Deque.pop_back d in
+            match List.rev !model with
+            | [] -> got = None
+            | x :: rest ->
+              model := List.rev rest;
+              got = Some x))
+        ops
+      && Deque.to_list d = !model)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+
+let test_histogram_exact_small () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "count" 5 (Histogram.count h);
+  Alcotest.(check int) "p50" 3 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100" 5 (Histogram.percentile h 100.0);
+  Alcotest.(check int) "max" 5 (Histogram.max_value h);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h)
+
+let prop_histogram_percentile_bounded =
+  QCheck.Test.make ~name:"percentile within 5% relative error" ~count:100
+    QCheck.(list_of_size Gen.(10 -- 200) (int_range 0 1_000_000))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let exact =
+            sorted.(min (n - 1)
+                      (max 0 (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+          in
+          let approx = Histogram.percentile h p in
+          approx >= exact
+          && float_of_int approx <= (float_of_int exact *. 1.05) +. 2.0)
+        [ 50.0; 90.0; 99.0 ])
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10;
+  Histogram.record b 1000;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count" 2 (Histogram.count m);
+  Alcotest.(check int) "max" 1000 (Histogram.max_value m);
+  Alcotest.(check int) "min" 10 (Histogram.min_value m)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_stats_welford () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s)
+
+let prop_stats_merge_equals_sequential =
+  QCheck.Test.make ~name:"merge(a,b) == sequential" ~count:100
+    QCheck.(pair (list (float_range (-100.) 100.)) (list (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and s = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      List.iter (Stats.add s) (xs @ ys);
+      let m = Stats.merge a b in
+      Stats.count m = Stats.count s
+      && (Stats.count s = 0
+         || Float.abs (Stats.mean m -. Stats.mean s) < 1e-6)
+      && (Stats.count s < 2
+         || Float.abs (Stats.variance m -. Stats.variance s) < 1e-4))
+
+(* ------------------------------------------------------------------ *)
+(* Zipf                                                                *)
+
+let test_zipf_skew () =
+  let z = Zipf.make ~n:100 ~theta:1.0 in
+  let r = Rng.make 3 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let i = Zipf.sample z r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "rank 0 much hotter than rank 50" true
+    (counts.(0) > 10 * max 1 counts.(50));
+  (* pmf sums to 1 *)
+  let total = ref 0.0 in
+  for i = 0 to 99 do
+    total := !total +. Zipf.probability z i
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_zipf_uniform_theta0 () =
+  let z = Zipf.make ~n:10 ~theta:0.0 in
+  for i = 0 to 9 do
+    Alcotest.(check (float 1e-9)) "uniform mass" 0.1 (Zipf.probability z i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt                                                            *)
+
+let test_table_renders () =
+  let t =
+    Tablefmt.create ~title:"demo"
+      ~columns:[ ("name", Tablefmt.Left); ("value", Tablefmt.Right) ]
+  in
+  Tablefmt.add_row t [ "alpha"; "1" ];
+  Tablefmt.add_row t [ "b"; "22" ];
+  let s = Tablefmt.to_string t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0
+    && String.sub s 0 11 = "== demo ==\n");
+  let csv = Tablefmt.to_csv t in
+  Alcotest.(check string) "csv" "name,value\nalpha,1\nb,22\n" csv
+
+let test_table_rejects_bad_row () =
+  let t =
+    Tablefmt.create ~title:"x" ~columns:[ ("a", Tablefmt.Left) ]
+  in
+  Alcotest.check_raises "arity enforced"
+    (Invalid_argument "Tablefmt.add_row (x): 2 cells for 1 columns")
+    (fun () -> Tablefmt.add_row t [ "1"; "2" ])
+
+let test_csv_escaping () =
+  let t = Tablefmt.create ~title:"e" ~columns:[ ("c", Tablefmt.Left) ] in
+  Tablefmt.add_row t [ "has,comma" ];
+  Tablefmt.add_row t [ "has\"quote" ];
+  Alcotest.(check string) "escaped" "c\n\"has,comma\"\n\"has\"\"quote\"\n"
+    (Tablefmt.to_csv t)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "chorus-util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "exponential mean" `Quick
+            test_rng_exponential_mean ] );
+      ( "pqueue",
+        [ Alcotest.test_case "orders" `Quick test_pqueue_orders;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          qt prop_pqueue_sorts ] );
+      ( "deque",
+        [ Alcotest.test_case "basics" `Quick test_deque_basics;
+          qt prop_deque_model ] );
+      ( "histogram",
+        [ Alcotest.test_case "exact small values" `Quick
+            test_histogram_exact_small;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          qt prop_histogram_percentile_bounded ] );
+      ( "stats",
+        [ Alcotest.test_case "welford" `Quick test_stats_welford;
+          qt prop_stats_merge_equals_sequential ] );
+      ( "zipf",
+        [ Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform at theta 0" `Quick
+            test_zipf_uniform_theta0 ] );
+      ( "tablefmt",
+        [ Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "bad row rejected" `Quick
+            test_table_rejects_bad_row;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping ] ) ]
