@@ -11,6 +11,11 @@
    engine events) — one Test.make per experiment family, all in this
    one executable, so simulator performance regressions are visible.
 
+   Part 3 writes BENCH_obs.json: the bechamel estimates plus the
+   virtual makespans of fixed scenarios with observability off and on,
+   so a driver can check both host-side overhead and that metrics /
+   tracing never perturb virtual time.
+
    Usage: main.exe [--tables-only | --bechamel-only] *)
 
 module Experiments = Chorus_experiments.Experiments
@@ -102,6 +107,37 @@ let bench_choice =
                          chans)))
             done)))
 
+(* the same workload with tracing+metrics off vs on: the "off" run is
+   the hot path the observability layer must not tax *)
+let plumbing () =
+  let c = Chan.buffered 16 in
+  let consumer =
+    Fiber.spawn (fun () ->
+        for _ = 1 to 500 do
+          ignore (Chan.recv c)
+        done)
+  in
+  for i = 1 to 500 do
+    Chan.send c i
+  done;
+  ignore (Fiber.join consumer)
+
+let bench_obs_off =
+  Bechamel.Test.make ~name:"obs:stream x500 (obs off)"
+    (Bechamel.Staged.stage (sim plumbing))
+
+let bench_obs_on =
+  Bechamel.Test.make ~name:"obs:stream x500 (ring+metrics)"
+    (Bechamel.Staged.stage (fun () ->
+         let reg = Chorus_obs.Metrics.create () in
+         Chorus_obs.Metrics.install reg;
+         let sink, _get, _dropped = Chorus.Trace.ring ~capacity:4096 () in
+         ignore
+           (Runtime.run
+              (Runtime.config ~trace:sink ~seed:1 (Lazy.force machine))
+              plumbing);
+         Chorus_obs.Metrics.uninstall ()))
+
 let bench_sleep_timers =
   Bechamel.Test.make ~name:"engine:1000 timers"
     (Bechamel.Staged.stage
@@ -124,7 +160,7 @@ let run_bechamel () =
   let tests =
     Test.make_grouped ~name:"chorus"
       [ bench_spawn; bench_rendezvous; bench_buffered; bench_choice;
-        bench_sleep_timers ]
+        bench_sleep_timers; bench_obs_off; bench_obs_on ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -146,11 +182,82 @@ let run_bechamel () =
   Printf.printf "%s\n" (String.make 57 '-');
   List.iter
     (fun (name, est) -> Printf.printf "%-40s %16.0f\n" name est)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  List.sort compare !rows
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: machine-readable results                                    *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* deterministic virtual makespans: the kernel file workload from
+   `chorus_sim trace`, with observability off and on — the two must be
+   equal, observability never advances virtual time *)
+let fixed_scenarios () =
+  let module Kernel = Chorus_kernel.Kernel in
+  let module Msgvfs = Chorus_kernel.Msgvfs in
+  let workload () =
+    let kern = Kernel.boot Kernel.default_config in
+    let fs = Kernel.fs_client kern in
+    ignore (Msgvfs.mkdir fs "/tmp");
+    ignore (Msgvfs.create fs "/tmp/hello");
+    match Msgvfs.open_ fs "/tmp/hello" with
+    | Ok fd ->
+      ignore (Msgvfs.write fs fd ~off:0 "bench!");
+      ignore (Msgvfs.read fs fd ~off:0 ~len:6)
+    | Error _ -> ()
+  in
+  let mesh = Chorus_machine.Machine.mesh ~cores:8 in
+  let off = Runtime.run (Runtime.config ~seed:1 mesh) workload in
+  let reg = Chorus_obs.Metrics.create () in
+  Chorus_obs.Metrics.install reg;
+  let sink, _get, _dropped = Chorus.Trace.ring ~capacity:65536 () in
+  let on = Runtime.run (Runtime.config ~trace:sink ~seed:1 mesh) workload in
+  Chorus_obs.Metrics.uninstall ();
+  [ ("kernel_file_ops_obs_off", off.Chorus.Runstats.makespan);
+    ("kernel_file_ops_obs_on", on.Chorus.Runstats.makespan) ]
+
+let write_json file bech_rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-obs-v1\",\n";
+  Buffer.add_string b "  \"bechamel_ns_per_run\": {";
+  List.iteri
+    (fun i (name, est) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    \"%s\": %.1f" (json_escape name) est))
+    bech_rows;
+  Buffer.add_string b "\n  },\n  \"virtual_makespans\": {";
+  List.iteri
+    (fun i (name, cycles) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    \"%s\": %d" (json_escape name) cycles))
+    (fixed_scenarios ());
+  Buffer.add_string b "\n  }\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
 
 let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--bechamel-only" args) in
   let bech = not (List.mem "--tables-only" args) in
   if tables then run_tables ();
-  if bech then run_bechamel ()
+  if bech then begin
+    let rows = run_bechamel () in
+    write_json "BENCH_obs.json" rows
+  end

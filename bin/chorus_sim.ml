@@ -17,8 +17,18 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+let ids_range =
+  (* derived from the catalogue so it can't go stale *)
+  match Experiments.all with
+  | [] -> "none"
+  | first :: rest ->
+    let last =
+      List.fold_left (fun _ e -> e.Experiments.id) first.Experiments.id rest
+    in
+    Printf.sprintf "%s..%s" first.Experiments.id last
+
 let ids_arg =
-  let doc = "Experiment ids (e1..e14), or 'all'." in
+  let doc = Printf.sprintf "Experiment ids (%s), or 'all'." ids_range in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID" ~doc)
 
 let full_arg =
@@ -95,7 +105,16 @@ let trace_cmd =
   let limit_arg =
     Arg.(value & opt int 80 & info [ "limit" ] ~doc:"Max records to print.")
   in
-  let go limit =
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Also export the full trace as Chrome trace-event JSON \
+             (open in about://tracing or ui.perfetto.dev).")
+  in
+  let go limit chrome =
     let module Machine = Chorus_machine.Machine in
     let module Runtime = Chorus.Runtime in
     let module Trace = Chorus.Trace in
@@ -128,9 +147,199 @@ let trace_cmd =
       records;
     Printf.printf "\n%d virtual cycles, %d messages, %d fibers spawned\n"
       stats.Chorus.Runstats.makespan stats.Chorus.Runstats.msgs
-      stats.Chorus.Runstats.spawns
+      stats.Chorus.Runstats.spawns;
+    match chrome with
+    | None -> ()
+    | Some file ->
+      Chorus_obs.Chrome_trace.write_file file records;
+      Printf.printf "wrote %d records to %s (Chrome trace-event JSON)\n"
+        (List.length records) file
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const go $ limit_arg)
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const go $ limit_arg $ chrome_arg)
+
+(* --------------------------------------------------------------- *)
+(* profile: run one experiment with metrics + tracing switched on     *)
+
+let profile_cmd =
+  let doc =
+    "Run one experiment with the observability layer on and print \
+     per-service latency, the busiest fibers, and the core-to-core \
+     message matrix."
+  in
+  let module Metrics = Chorus_obs.Metrics in
+  let module Profile = Chorus_obs.Profile in
+  let module Trace = Chorus.Trace in
+  let module Runtime = Chorus.Runtime in
+  let id_arg =
+    let doc = Printf.sprintf "Experiment id (%s)." ids_range in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let ring_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ring" ]
+          ~doc:"Trace ring capacity: most recent records kept per run.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "Also export the profiled run's trace as Chrome trace-event \
+             JSON.")
+  in
+  let pct cycles total =
+    if total <= 0 then "-"
+    else Printf.sprintf "%.1f%%" (100. *. float cycles /. float total)
+  in
+  let go id full seed capacity chrome =
+    match Experiments.find id with
+    | None ->
+      Printf.eprintf "unknown experiment %S (try 'list')\n" id;
+      exit 2
+    | Some e ->
+      (* Metrics accumulate across every run the experiment performs;
+         the trace-derived profile uses the longest single run (the
+         experiment's headline configuration is typically its biggest). *)
+      let reg = Metrics.create () in
+      Metrics.install reg;
+      let rings : ((unit -> Trace.record list) * (unit -> int)) list ref =
+        ref []
+      in
+      Runtime.set_default_trace
+        (Some
+           (fun () ->
+             let sink, get, dropped = Trace.ring ~capacity () in
+             rings := (get, dropped) :: !rings;
+             sink));
+      Printf.printf "--- profiling %s: %s ---\nclaim: %s\n%!"
+        (String.uppercase_ascii e.Experiments.id)
+        e.Experiments.title e.Experiments.claim;
+      let _tables = e.Experiments.run ~quick:(not full) ~seed in
+      Runtime.set_default_trace None;
+      Metrics.uninstall ();
+      let snap = Metrics.snapshot reg in
+      let lat =
+        Tablefmt.create ~title:"service latency (virtual cycles)"
+          ~columns:
+            [ ("service", Tablefmt.Left); ("metric", Tablefmt.Left);
+              ("count", Tablefmt.Right); ("mean", Tablefmt.Right);
+              ("p50", Tablefmt.Right); ("p95", Tablefmt.Right);
+              ("p99", Tablefmt.Right); ("max", Tablefmt.Right) ]
+      in
+      let other =
+        Tablefmt.create ~title:"counters and gauges"
+          ~columns:
+            [ ("service", Tablefmt.Left); ("metric", Tablefmt.Left);
+              ("kind", Tablefmt.Left); ("value", Tablefmt.Right);
+              ("peak", Tablefmt.Right); ("mean", Tablefmt.Right) ]
+      in
+      List.iter
+        (fun ((sub, name), v) ->
+          match v with
+          | Metrics.Histo { count; mean; p50; p95; p99; max } ->
+            Tablefmt.add_row lat
+              [ sub; name; Tablefmt.cell_int count; Tablefmt.cell_float mean;
+                Tablefmt.cell_int p50; Tablefmt.cell_int p95;
+                Tablefmt.cell_int p99; Tablefmt.cell_int max ]
+          | Metrics.Counter n ->
+            Tablefmt.add_row other
+              [ sub; name; "counter"; Tablefmt.cell_int n; "-"; "-" ]
+          | Metrics.Gauge { last; peak; mean } ->
+            Tablefmt.add_row other
+              [ sub; name; "gauge"; Tablefmt.cell_int last;
+                Tablefmt.cell_int peak; Tablefmt.cell_float mean ])
+        snap;
+      Tablefmt.print lat;
+      Tablefmt.print other;
+      let best =
+        List.fold_left
+          (fun acc (get, dropped) ->
+            let records = get () in
+            let n = List.length records in
+            match acc with
+            | Some (_, bn, _) when bn >= n -> acc
+            | _ -> Some (records, n, dropped ()))
+          None !rings
+      in
+      (match best with
+      | None -> Printf.printf "(no run produced trace records)\n"
+      | Some (records, n, dropped) ->
+        Printf.printf "trace profile: longest of %d runs, %d records%s\n\n"
+          (List.length !rings) n
+          (if dropped > 0 then
+             Printf.sprintf " (ring dropped %d oldest; raise --ring)" dropped
+           else "");
+        let p = Profile.of_records records in
+        let busy_total =
+          List.fold_left (fun a f -> a + f.Profile.busy) 0 p.Profile.fibers
+        in
+        let busy =
+          Tablefmt.create ~title:"top fibers by busy time"
+            ~columns:
+              [ ("fiber", Tablefmt.Right); ("label", Tablefmt.Left);
+                ("busy", Tablefmt.Right); ("share", Tablefmt.Right);
+                ("sent", Tablefmt.Right); ("recvd", Tablefmt.Right) ]
+        in
+        List.iter
+          (fun f ->
+            Tablefmt.add_row busy
+              [ string_of_int f.Profile.fid; f.Profile.label;
+                Tablefmt.cell_int f.Profile.busy; pct f.Profile.busy busy_total;
+                Tablefmt.cell_int f.Profile.sent;
+                Tablefmt.cell_int f.Profile.received ])
+          (Profile.top_busy p ~n:5);
+        Tablefmt.print busy;
+        let blocked =
+          Tablefmt.create ~title:"top fibers by blocked time"
+            ~columns:
+              [ ("fiber", Tablefmt.Right); ("label", Tablefmt.Left);
+                ("blocked", Tablefmt.Right); ("waiting on", Tablefmt.Left) ]
+        in
+        List.iter
+          (fun f ->
+            let on =
+              Profile.blocked_breakdown f
+              |> List.filteri (fun i _ -> i < 3)
+              |> List.map (fun (tag, d) ->
+                     Printf.sprintf "%s:%s" tag (Tablefmt.cell_int d))
+              |> String.concat " "
+            in
+            Tablefmt.add_row blocked
+              [ string_of_int f.Profile.fid; f.Profile.label;
+                Tablefmt.cell_int f.Profile.blocked; on ])
+          (Profile.top_blocked p ~n:5);
+        Tablefmt.print blocked;
+        let matrix =
+          Tablefmt.create
+            ~title:
+              (Printf.sprintf "core-to-core messages (%d total)"
+                 (Profile.messages p))
+            ~columns:
+              (("src\\dst", Tablefmt.Left)
+              :: List.init p.Profile.cores (fun c ->
+                     (string_of_int c, Tablefmt.Right)))
+        in
+        Array.iteri
+          (fun src row ->
+            Tablefmt.add_row matrix
+              (string_of_int src
+              :: Array.to_list
+                   (Array.map
+                      (fun n -> if n = 0 then "." else Tablefmt.cell_int n)
+                      row)))
+          p.Profile.matrix;
+        Tablefmt.print matrix;
+        match chrome with
+        | None -> ()
+        | Some file ->
+          Chorus_obs.Chrome_trace.write_file file records;
+          Printf.printf "wrote %d records to %s (Chrome trace-event JSON)\n"
+            n file)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const go $ id_arg $ full_arg $ seed_arg $ ring_arg $ chrome_arg)
 
 let () =
   let doc =
@@ -138,4 +347,4 @@ let () =
      reproduction)"
   in
   let info = Cmd.info "chorus_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; profile_cmd ]))

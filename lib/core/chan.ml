@@ -116,13 +116,15 @@ let rec some_live_tx c =
 (* ------------------------------------------------------------------ *)
 (* Cost accounting                                                     *)
 
-let count_message eng ~src ~dst ~words =
+let count_message eng c ~src ~dst ~words =
   let cnt = Engine.counters eng in
   cnt.Engine.msgs <- cnt.Engine.msgs + 1;
   cnt.Engine.words_copied <- cnt.Engine.words_copied + words;
   let h = Machine.hops (Engine.machine eng) src dst in
   cnt.Engine.hops <- cnt.Engine.hops + h;
-  if h > 0 then cnt.Engine.remote_msgs <- cnt.Engine.remote_msgs + 1
+  if h > 0 then cnt.Engine.remote_msgs <- cnt.Engine.remote_msgs + 1;
+  if Engine.tracing eng then
+    Engine.emit eng (Trace.Send { chan = c.chid; words; src; dst })
 
 (* Cycles from "value leaves the sender core" to "receiver has it":
    transit plus the receive-side fixed cost.  The sender-side
@@ -202,10 +204,8 @@ let send_fast eng c v ~words ~src ~ts =
   (* returns true when the send completed without blocking *)
   match pop_live_rx c with
   | Some rx ->
-    count_message eng ~src ~dst:rx.rx_core ~words;
+    count_message eng c ~src ~dst:rx.rx_core ~words;
     deliver_to_rx eng rx ~src_core:src ~send_time:ts v;
-    Engine.emit eng
-      (Trace.Send { chan = c.chid; words; remote = rx.rx_core <> src });
     true
   | None ->
     let room =
@@ -217,8 +217,7 @@ let send_fast eng c v ~words ~src ~ts =
     if room then begin
       Queue.push { sl_val = v; sl_words = words; sl_core = src; sl_time = ts }
         c.buf;
-      count_message eng ~src ~dst:src ~words;
-      Engine.emit eng (Trace.Send { chan = c.chid; words; remote = false });
+      count_message eng c ~src ~dst:src ~words;
       true
     end
     else false
@@ -278,7 +277,7 @@ let recv_fast eng c ~me ~tr =
     | Some tx ->
       let completion = max tr tx.tx_time + transit eng ~src:tx.tx_core ~dst:me in
       Engine.charge eng (completion - tr);
-      count_message eng ~src:tx.tx_core ~dst:me ~words:tx.tx_words;
+      count_message eng c ~src:tx.tx_core ~dst:me ~words:tx.tx_words;
       tx.tx_done ~time:completion;
       Engine.emit eng (Trace.Recv { chan = c.chid });
       tx.tx_val

@@ -154,6 +154,8 @@ let elapsed t = t.horizon
 (* ------------------------------------------------------------------ *)
 (* Time and cost accounting                                            *)
 
+let tracing t = t.config.trace <> None
+
 let in_fiber t = t.seg_fiber <> None
 
 let now t = if in_fiber t then t.seg_start + t.seg_acc else t.now
@@ -275,7 +277,13 @@ and run_segment t core f thunk ~precharge =
   let fin = t.seg_start + t.seg_acc in
   core.free_at <- fin;
   core.busy <- core.busy + (fin - start);
-  if fin > t.horizon then t.horizon <- fin
+  if fin > t.horizon then t.horizon <- fin;
+  match t.config.trace with
+  | None -> ()
+  | Some sink ->
+    sink
+      { Trace.time = fin; core = core.cid; fiber = f.fid;
+        event = Trace.Segment { start; label = f.label } }
 
 (* ------------------------------------------------------------------ *)
 (* Making fibers runnable                                              *)
@@ -298,6 +306,11 @@ let enqueue_runnable t f thunk ~at =
     in
     probe 2
   end;
+  (match t.config.trace with
+  | None -> ()
+  | Some sink ->
+    sink
+      { Trace.time = at; core = f.core; fiber = f.fid; event = Trace.Wake });
   let core = t.cores.(f.core) in
   core.pending <- core.pending + 1;
   push_event t at (fun () ->

@@ -177,6 +177,11 @@ val emit : t -> Trace.event -> unit
 (** Emit a trace record attributed to the current fiber (no-op without
     a sink). *)
 
+val tracing : t -> bool
+(** Whether a trace sink is installed.  Instrumentation that must
+    allocate to build an event should check this first so that an
+    untraced run pays nothing. *)
+
 val core_busy : t -> int array
 (** Per-core busy cycles so far. *)
 

@@ -10,11 +10,28 @@ let config ?(policy = Chorus_sched.Policy.parent) ?(seed = 42) ?trace
     ?(max_events = 200_000_000) machine =
   { machine; policy; seed; trace; max_events }
 
+(* Ambient instrumentation: when set, every [run] whose config carries
+   no explicit sink asks the factory for one.  The factory is invoked
+   once per run, so a profiler gets a fresh (ring) buffer per simulated
+   run and can tell runs apart.  This is how `chorus_sim profile`
+   observes experiments that build their own configs internally. *)
+let default_trace : (unit -> Trace.sink) option ref = ref None
+
+let set_default_trace f = default_trace := f
+
 let engine_config (c : config) : Engine.config =
+  let trace =
+    match c.trace with
+    | Some _ as s -> s
+    | None -> (
+      match !default_trace with
+      | None -> None
+      | Some factory -> Some (factory ()))
+  in
   { Engine.machine = c.machine;
     policy = c.policy;
     seed = c.seed;
-    trace = c.trace;
+    trace;
     max_events = c.max_events }
 
 let run cfg main =

@@ -27,3 +27,12 @@ val run : config -> (unit -> unit) -> Runstats.t
 
 val run_result : config -> (unit -> 'a) -> 'a * Runstats.t
 (** Like {!run} but also returns the value computed by [main]. *)
+
+val set_default_trace : (unit -> Trace.sink) option -> unit
+(** [set_default_trace (Some factory)] installs an ambient sink
+    factory: every subsequent {!run} whose config has [trace = None]
+    calls [factory ()] once at run start and traces into the returned
+    sink.  A profiler can thereby observe code that builds its own
+    configs (the experiment catalogue) and gets one sink per simulated
+    run.  [set_default_trace None] removes it.  Explicit [?trace]
+    arguments always win. *)

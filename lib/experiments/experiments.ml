@@ -98,6 +98,16 @@ let all =
 
 let find id =
   let id = String.lowercase_ascii id in
+  (* accept zero-padded forms: e04 means e4 *)
+  let id =
+    if String.length id > 2 && id.[0] = 'e' then
+      match
+        int_of_string_opt (String.sub id 1 (String.length id - 1))
+      with
+      | Some n -> Printf.sprintf "e%d" n
+      | None -> id
+    else id
+  in
   List.find_opt (fun e -> e.id = id) all
 
 let run_and_print ?(quick = true) ?(seed = 42) e =

@@ -2,7 +2,7 @@
     figures; see DESIGN.md Section 3 for the claim index). *)
 
 type t = {
-  id : string;  (** "e1" .. "e14" *)
+  id : string;  (** "e1", "e2", ... — see {!all} for the catalogue *)
   title : string;
   claim : string;  (** the paper sentence the experiment tests *)
   run : quick:bool -> seed:int -> Chorus_util.Tablefmt.t list;
@@ -11,7 +11,8 @@ type t = {
 val all : t list
 
 val find : string -> t option
-(** Lookup by id, case-insensitive. *)
+(** Lookup by id, case-insensitive; zero-padded forms ("e04") are
+    accepted for "e4". *)
 
 val run_and_print : ?quick:bool -> ?seed:int -> t -> unit
 (** Run one experiment and print its tables to stdout with timing. *)

@@ -2,6 +2,8 @@ module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
 module Rpc = Chorus.Rpc
 module Fsspec = Chorus_fsspec.Fsspec
+module Metrics = Chorus_obs.Metrics
+module Span = Chorus_obs.Span
 
 type req =
   | Get of int
@@ -24,6 +26,9 @@ type t = {
   eps : (req, resp) Rpc.endpoint array;
   mutable hits : int;
   mutable misses : int;
+  req_h : Metrics.histogram;  (** per-request service time *)
+  queue_g : Metrics.gauge;  (** shard request-queue depth *)
+  miss_c : Metrics.counter;
 }
 
 let block_words = Fsspec.block_size / 8
@@ -37,6 +42,7 @@ let lookup t st dev block =
     b
   | None ->
     t.misses <- t.misses + 1;
+    Metrics.incr t.miss_c;
     if Hashtbl.length st.bufs >= st.capacity then begin
       (* evict LRU, writing back if dirty *)
       let victim = ref None in
@@ -60,7 +66,9 @@ let lookup t st dev block =
 let serve_shard t st dev ep =
   let rec loop () =
     let req, reply = Chan.recv ep in
-    (match req with
+    Metrics.observe t.queue_g (Chan.length ep);
+    Span.timed ~subsystem:"bcache" ~name:"request" t.req_h (fun () ->
+    match req with
     | Get block ->
       let b = lookup t st dev block in
       Chan.send ~words:(2 + block_words) reply
@@ -102,7 +110,10 @@ let start ?(shards = 8) ?(capacity = 1024) ?(spread = true) ~dev () =
         Array.init shards (fun i ->
             Rpc.endpoint ~label:(Printf.sprintf "bcache-%d" i) ());
       hits = 0;
-      misses = 0 }
+      misses = 0;
+      req_h = Metrics.histogram ~subsystem:"bcache" "request";
+      queue_g = Metrics.gauge ~subsystem:"bcache" "queue_depth";
+      miss_c = Metrics.counter ~subsystem:"bcache" "misses" }
   in
   Array.iteri
     (fun i ep ->

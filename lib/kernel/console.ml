@@ -1,14 +1,20 @@
 module Fiber = Chorus.Fiber
 module Rpc = Chorus.Rpc
+module Metrics = Chorus_obs.Metrics
+module Span = Chorus_obs.Span
 
 type t = {
   ep : (string, unit) Rpc.endpoint;
   mutable lines : string list;  (** reversed *)
   mutable count : int;
+  write_h : Metrics.histogram;  (** caller-observed write_line latency *)
 }
 
 let start ?on ?(cycles_per_char = 2000) () =
-  let t = { ep = Rpc.endpoint ~label:"console" (); lines = []; count = 0 } in
+  let t =
+    { ep = Rpc.endpoint ~label:"console" (); lines = []; count = 0;
+      write_h = Metrics.histogram ~subsystem:"console" "write_line" }
+  in
   ignore
     (Fiber.spawn ?on ~label:"console" ~daemon:true (fun () ->
          Rpc.serve t.ep (fun line ->
@@ -19,6 +25,7 @@ let start ?on ?(cycles_per_char = 2000) () =
   t
 
 let write_line t line =
+  Span.timed ~subsystem:"console" ~name:"write_line" t.write_h @@ fun () ->
   Rpc.call ~words:(2 + ((String.length line + 7) / 8)) t.ep line
 
 let output t = List.rev t.lines

@@ -2,6 +2,8 @@ module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
 module Rpc = Chorus.Rpc
 module Fsspec = Chorus_fsspec.Fsspec
+module Metrics = Chorus_obs.Metrics
+module Span = Chorus_obs.Span
 
 type config = { plumbing : bool; dispatchers : int }
 
@@ -43,6 +45,9 @@ type sys = {
   disp : (sc, scresp) Rpc.endpoint array;
   mutable spawned : int;
   mutable live : int;
+  dir_queue : Metrics.gauge;
+      (** request-queue depth observed by directory vnodes *)
+  disp_queue : Metrics.gauge;  (** ditto for dispatcher fibers *)
 }
 
 and sc =
@@ -64,11 +69,26 @@ and scresp =
   | R_stat of (Fsspec.stat, Fsspec.err) result
   | R_names of (string list, Fsspec.err) result
 
+(* Per-operation request-latency histograms, shared through the
+   metrics registry by every client of the mount. *)
+type op_hists = {
+  h_mkdir : Metrics.histogram;
+  h_create : Metrics.histogram;
+  h_open : Metrics.histogram;
+  h_read : Metrics.histogram;
+  h_write : Metrics.histogram;
+  h_stat : Metrics.histogram;
+  h_unlink : Metrics.histogram;
+  h_rename : Metrics.histogram;
+  h_readdir : Metrics.histogram;
+}
+
 type t = {
   sys : sys;
   fds : (int, vnode) Hashtbl.t;
   mutable next_fd : int;
   mutable next_disp : int;
+  mx : op_hists;
 }
 
 let bs = Fsspec.block_size
@@ -185,6 +205,7 @@ let rec serve_dir sys ep =
   let entries : (string, vnode * Fsspec.kind) Hashtbl.t = Hashtbl.create 8 in
   let rec loop () =
     let req, reply = Chan.recv ep in
+    Metrics.observe sys.dir_queue (Chan.length ep);
     let resp =
       match req with
       | Getattr ->
@@ -437,6 +458,7 @@ let do_readdir sys path =
 
 let serve_dispatcher sys ep =
   Rpc.serve ep (fun sc ->
+      Metrics.observe sys.disp_queue (Chan.length ep);
       match sc with
       | Sc_mkdir p -> R_unit (do_mkdir sys p)
       | Sc_create p -> R_unit (do_create sys p)
@@ -457,7 +479,11 @@ let mount cfg ~bcache ~alloc =
       (if cfg.plumbing then 0 else max 1 cfg.dispatchers)
       (fun i -> Rpc.endpoint ~label:(Printf.sprintf "syscall-%d" i) ())
   in
-  let sys = { cfg; bcache; alloc; root; disp; spawned = 1; live = 1 } in
+  let sys =
+    { cfg; bcache; alloc; root; disp; spawned = 1; live = 1;
+      dir_queue = Metrics.gauge ~subsystem:"msgvfs" "dir_queue_depth";
+      disp_queue = Metrics.gauge ~subsystem:"msgvfs" "dispatcher_queue_depth" }
+  in
   ignore
     (Fiber.spawn ~label:"root-vnode" ~daemon:true (fun () ->
          serve_dir sys root));
@@ -470,7 +496,13 @@ let mount cfg ~bcache ~alloc =
   sys
 
 let client sys =
-  { sys; fds = Hashtbl.create 16; next_fd = 3; next_disp = 0 }
+  let h name = Metrics.histogram ~subsystem:"msgvfs" name in
+  { sys; fds = Hashtbl.create 16; next_fd = 3; next_disp = 0;
+    mx =
+      { h_mkdir = h "mkdir"; h_create = h "create"; h_open = h "open";
+        h_read = h "read"; h_write = h "write"; h_stat = h "stat";
+        h_unlink = h "unlink"; h_rename = h "rename";
+        h_readdir = h "readdir" } }
 
 let pick_disp t =
   let d = t.sys.disp in
@@ -482,7 +514,10 @@ let via_disp t sc = Rpc.call (pick_disp t) sc
 
 let plumbed t = t.sys.cfg.plumbing
 
+let timed name h f = Span.timed ~subsystem:"msgvfs" ~name h f
+
 let mkdir t path =
+  timed "mkdir" t.mx.h_mkdir @@ fun () ->
   if plumbed t then do_mkdir t.sys path
   else
     match via_disp t (Sc_mkdir path) with
@@ -490,6 +525,7 @@ let mkdir t path =
     | _ -> Error Fsspec.Einval
 
 let create t path =
+  timed "create" t.mx.h_create @@ fun () ->
   if plumbed t then do_create t.sys path
   else
     match via_disp t (Sc_create path) with
@@ -503,6 +539,7 @@ let install_fd t v =
   fd
 
 let open_ t path =
+  timed "open" t.mx.h_open @@ fun () ->
   let r =
     if plumbed t then do_open t.sys path
     else
@@ -525,6 +562,7 @@ let fd_vnode t fd =
   | None -> Error Fsspec.Ebadf
 
 let read t fd ~off ~len =
+  timed "read" t.mx.h_read @@ fun () ->
   match fd_vnode t fd with
   | Error e -> Error e
   | Ok v ->
@@ -535,6 +573,7 @@ let read t fd ~off ~len =
       | _ -> Error Fsspec.Einval)
 
 let write t fd ~off data =
+  timed "write" t.mx.h_write @@ fun () ->
   match fd_vnode t fd with
   | Error e -> Error e
   | Ok v ->
@@ -545,6 +584,7 @@ let write t fd ~off data =
       | _ -> Error Fsspec.Einval)
 
 let stat t path =
+  timed "stat" t.mx.h_stat @@ fun () ->
   if plumbed t then do_stat t.sys path
   else
     match via_disp t (Sc_stat path) with
@@ -552,6 +592,7 @@ let stat t path =
     | _ -> Error Fsspec.Einval
 
 let unlink t path =
+  timed "unlink" t.mx.h_unlink @@ fun () ->
   if plumbed t then do_unlink t.sys path
   else
     match via_disp t (Sc_unlink path) with
@@ -559,6 +600,7 @@ let unlink t path =
     | _ -> Error Fsspec.Einval
 
 let rename t src dst =
+  timed "rename" t.mx.h_rename @@ fun () ->
   if plumbed t then do_rename t.sys src dst
   else
     match via_disp t (Sc_rename (src, dst)) with
@@ -566,6 +608,7 @@ let rename t src dst =
     | _ -> Error Fsspec.Einval
 
 let readdir t path =
+  timed "readdir" t.mx.h_readdir @@ fun () ->
   if plumbed t then do_readdir t.sys path
   else
     match via_disp t (Sc_readdir path) with

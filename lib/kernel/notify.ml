@@ -1,5 +1,6 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
+module Metrics = Chorus_obs.Metrics
 
 type event =
   | Thermal of int
@@ -17,20 +18,29 @@ type t = {
   inbox : msg Chan.t;
   mutable published : int;
   mutable delivered : int;
+  published_c : Metrics.counter;
+  delivered_c : Metrics.counter;
+  inbox_g : Metrics.gauge;
 }
 
 let start ?on () =
   let t = { inbox = Chan.unbounded ~label:"notify" (); published = 0;
-            delivered = 0 } in
+            delivered = 0;
+            published_c = Metrics.counter ~subsystem:"notify" "published";
+            delivered_c = Metrics.counter ~subsystem:"notify" "delivered";
+            inbox_g = Metrics.gauge ~subsystem:"notify" "inbox_depth" } in
   let subscribers : ((event -> bool) * event Chan.t) list ref = ref [] in
   ignore
     (Fiber.spawn ?on ~label:"notify-hub" ~daemon:true (fun () ->
          let rec loop () =
-           (match Chan.recv t.inbox with
+           let msg = Chan.recv t.inbox in
+           Metrics.observe t.inbox_g (Chan.length t.inbox);
+           (match msg with
            | Subscribe (filter, ch) ->
              subscribers := (filter, ch) :: !subscribers
            | Publish ev ->
              t.published <- t.published + 1;
+             Metrics.incr t.published_c;
              subscribers :=
                List.filter
                  (fun (filter, ch) ->
@@ -38,7 +48,8 @@ let start ?on () =
                    else begin
                      if filter ev then begin
                        Chan.send ~words:4 ch ev;
-                       t.delivered <- t.delivered + 1
+                       t.delivered <- t.delivered + 1;
+                       Metrics.incr t.delivered_c
                      end;
                      true
                    end)

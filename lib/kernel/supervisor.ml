@@ -1,5 +1,6 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
+module Metrics = Chorus_obs.Metrics
 
 type strategy = One_for_one | One_for_all
 
@@ -19,6 +20,8 @@ type t = {
   mutable log : (int * string) list;  (** reversed *)
   mutable gave_up : bool;
   mutable sup_fiber : Fiber.t option;
+  restart_c : Metrics.counter;
+  giveup_c : Metrics.counter;
 }
 
 let watch t idx fiber =
@@ -42,6 +45,7 @@ let kill_child t idx =
   | Some _ | None -> t.fibers.(idx) <- None
 
 let give_up t =
+  if not t.gave_up then Metrics.incr t.giveup_c;
   t.gave_up <- true;
   Array.iteri (fun i _ -> kill_child t i) t.fibers;
   Chan.close t.inbox
@@ -56,7 +60,9 @@ let start ?(max_restarts = 10) ?(window = 10_000_000) strategy specs =
       restarts = 0;
       log = [];
       gave_up = false;
-      sup_fiber = None }
+      sup_fiber = None;
+      restart_c = Metrics.counter ~subsystem:"supervisor" "restarts";
+      giveup_c = Metrics.counter ~subsystem:"supervisor" "give_ups" }
   in
   let recent = ref [] in
   let too_intense now =
@@ -68,6 +74,7 @@ let start ?(max_restarts = 10) ?(window = 10_000_000) strategy specs =
     if too_intense now then give_up t
     else begin
       t.restarts <- t.restarts + 1;
+      Metrics.incr t.restart_c;
       t.log <- (now, t.specs.(idx).cname) :: t.log;
       match strategy with
       | One_for_one -> spawn_child t idx

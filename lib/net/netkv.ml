@@ -1,4 +1,6 @@
 module Fiber = Chorus.Fiber
+module Metrics = Chorus_obs.Metrics
+module Span = Chorus_obs.Span
 
 (* Wire format: requests and replies are tiny strings; first byte is
    the opcode.  (Payload strings keep the fabric honest about sizes.) *)
@@ -74,11 +76,21 @@ let gets_served s = s.gets
 
 let replications s = s.repls
 
-type client = { stack : Stack.t; server_addr : int; port : int }
+type client = {
+  stack : Stack.t;
+  server_addr : int;
+  port : int;
+  put_h : Metrics.histogram;
+  get_h : Metrics.histogram;
+}
 
-let client stack ~server_addr ~port = { stack; server_addr; port }
+let client stack ~server_addr ~port =
+  { stack; server_addr; port;
+    put_h = Metrics.histogram ~subsystem:"netkv" "put";
+    get_h = Metrics.histogram ~subsystem:"netkv" "get" }
 
 let put c k v =
+  Span.timed ~subsystem:"netkv" ~name:"put" c.put_h @@ fun () ->
   match
     Stack.call c.stack ~dst:c.server_addr ~port:c.port (encode_put k v)
   with
@@ -86,6 +98,7 @@ let put c k v =
   | Some _ | None -> false
 
 let get c k =
+  Span.timed ~subsystem:"netkv" ~name:"get" c.get_h @@ fun () ->
   match Stack.call c.stack ~dst:c.server_addr ~port:c.port (encode_get k) with
   | None -> None
   | Some reply ->

@@ -1,0 +1,210 @@
+module Trace = Chorus.Trace
+
+(* Chrome trace-event JSON (the about://tracing / Perfetto "JSON
+   object format").  Mapping: the simulated chip is one process; each
+   core is a "thread" carrying the fiber segments that executed on it
+   plus instant marks for scheduler/channel events; service spans get
+   a parallel "core N spans" track keyed by the core the span opened
+   on, so slices nest cleanly even when a span sleeps across fiber
+   segments.  One virtual cycle renders as one microsecond (ts is in
+   us in this format), so cycle arithmetic survives in the UI.
+
+   Everything here is a pure function of the record list, so a fixed
+   (seed, inputs) run exports byte-identical JSON. *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* tid layout: 0 = outside-any-fiber events, 1+c = core c's segments,
+   1001+c = core c's service spans. *)
+let tid_of_core c = if c < 0 then 0 else c + 1
+
+let span_tid_of_core c = if c < 0 then 0 else c + 1001
+
+type ev = { ts : int; seq : int; body : string }
+
+let add_arg b first k v =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_char b '"';
+  escape b k;
+  Buffer.add_string b "\":";
+  Buffer.add_string b v
+
+let quoted s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let make_ev ~ph ~tid ~ts ?dur ~name args =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"ph\":\"";
+  Buffer.add_string b ph;
+  Buffer.add_string b "\",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int tid);
+  Buffer.add_string b ",\"ts\":";
+  Buffer.add_string b (string_of_int ts);
+  (match dur with
+  | Some d ->
+    Buffer.add_string b ",\"dur\":";
+    Buffer.add_string b (string_of_int d)
+  | None -> ());
+  if ph = "i" then Buffer.add_string b ",\"s\":\"t\"";
+  Buffer.add_string b ",\"name\":";
+  Buffer.add_string b (quoted name);
+  (match args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string b ",\"args\":{";
+    let first = ref true in
+    List.iter (fun (k, v) -> add_arg b first k v) args;
+    Buffer.add_char b '}');
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let instant_of_event ev =
+  match ev with
+  | Trace.Spawn { child; on_core } ->
+    Some ("spawn", [ ("child", string_of_int child);
+                     ("on_core", string_of_int on_core) ])
+  | Trace.Exit { status } -> Some ("exit", [ ("status", quoted status) ])
+  | Trace.Block { on } -> Some ("block", [ ("on", quoted on) ])
+  | Trace.Wake -> Some ("wake", [])
+  | Trace.Send { chan; words; src; dst } ->
+    Some ("send", [ ("chan", string_of_int chan);
+                    ("words", string_of_int words);
+                    ("src", string_of_int src);
+                    ("dst", string_of_int dst) ])
+  | Trace.Recv { chan } -> Some ("recv", [ ("chan", string_of_int chan) ])
+  | Trace.Steal { victim_core; fiber } ->
+    Some ("steal", [ ("victim_core", string_of_int victim_core);
+                     ("fiber", string_of_int fiber) ])
+  | Trace.Custom s -> Some (s, [])
+  | Trace.Span_begin _ | Trace.Span_end _ | Trace.Segment _ -> None
+
+let to_string records =
+  let events = ref [] in
+  let nseq = ref 0 in
+  let push ts body =
+    incr nseq;
+    events := { ts; seq = !nseq; body } :: !events
+  in
+  (* per-fiber stacks of open spans: (subsystem, span, begin ts,
+     begin core) *)
+  let open_spans : (int, (string * string * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let stack_of fid =
+    match Hashtbl.find_opt open_spans fid with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace open_spans fid s;
+      s
+  in
+  let max_core = ref (-1) in
+  let fiber_arg r = ("fiber", string_of_int r.Trace.fiber) in
+  List.iter
+    (fun r ->
+      if r.Trace.core > !max_core then max_core := r.Trace.core;
+      match r.Trace.event with
+      | Trace.Segment { start; label } ->
+        push start
+          (make_ev ~ph:"X" ~tid:(tid_of_core r.Trace.core) ~ts:start
+             ~dur:(r.Trace.time - start) ~name:label [ fiber_arg r ])
+      | Trace.Span_begin { subsystem; span } ->
+        let st = stack_of r.Trace.fiber in
+        st := (subsystem, span, r.Trace.time, r.Trace.core) :: !st
+      | Trace.Span_end { subsystem; span } ->
+        let st = stack_of r.Trace.fiber in
+        let rec unwind = function
+          | (sub, sp, ts, core) :: rest when sub = subsystem && sp = span ->
+            push ts
+              (make_ev ~ph:"X" ~tid:(span_tid_of_core core) ~ts
+                 ~dur:(r.Trace.time - ts) ~name:span
+                 [ fiber_arg r; ("subsystem", quoted sub) ]);
+            rest
+          | _ :: rest -> unwind rest
+          | [] -> []
+        in
+        st := unwind !st
+      | ev -> (
+        match instant_of_event ev with
+        | None -> ()
+        | Some (name, args) ->
+          push r.Trace.time
+            (make_ev ~ph:"i" ~tid:(tid_of_core r.Trace.core) ~ts:r.Trace.time
+               ~name (fiber_arg r :: args))))
+    records;
+  (* spans left open at end of trace: emit as zero-duration marks so
+     they are visible rather than silently dropped *)
+  let leftovers = Hashtbl.fold (fun fid st acc -> (fid, !st) :: acc)
+      open_spans []
+  in
+  List.iter
+    (fun (fid, st) ->
+      List.iter
+        (fun (sub, sp, ts, core) ->
+          push ts
+            (make_ev ~ph:"i" ~tid:(span_tid_of_core core) ~ts
+               ~name:("unclosed:" ^ sp)
+               [ ("fiber", string_of_int fid); ("subsystem", quoted sub) ]))
+        st)
+    (List.sort compare leftovers);
+  (* thread-name metadata rows *)
+  let meta = ref [] in
+  let add_meta tid name sort_index =
+    meta :=
+      Printf.sprintf
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}},{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}"
+        tid (quoted name) tid sort_index
+      :: !meta
+  in
+  add_meta 0 "external" (-1);
+  for c = 0 to !max_core do
+    add_meta (tid_of_core c) (Printf.sprintf "core %d" c) (2 * c);
+    add_meta (span_tid_of_core c)
+      (Printf.sprintf "core %d spans" c)
+      ((2 * c) + 1)
+  done;
+  let sorted =
+    List.stable_sort
+      (fun a b -> if a.ts <> b.ts then compare a.ts b.ts else compare a.seq b.seq)
+      (List.rev !events)
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"exporter\":\"chorus\",\"timeUnit\":\"1 virtual cycle = 1 us\"},\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"chorus\"}}";
+  List.iter
+    (fun m ->
+      Buffer.add_char b ',';
+      Buffer.add_string b m)
+    (List.rev !meta);
+  List.iter
+    (fun e ->
+      Buffer.add_char b ',';
+      Buffer.add_string b e.body)
+    sorted;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_file path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string records))

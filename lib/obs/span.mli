@@ -1,0 +1,26 @@
+(** Span tracing: attribute stretches of virtual time to named
+    operations.
+
+    Spans ride the run's {!Chorus.Trace} sink as
+    [Span_begin]/[Span_end] records, attributed to fiber, core and
+    virtual time by the engine; {!Chrome_trace} renders them as nested
+    slices and {!Profile} distills per-span latency histograms.  All
+    entry points are no-ops (beyond one flag test) when the run has no
+    trace sink, and must be called from inside a fiber. *)
+
+val enter : subsystem:string -> string -> unit
+
+val exit : subsystem:string -> string -> unit
+(** Close the innermost open span with this name (spans nest; close in
+    LIFO order, which {!with_} guarantees). *)
+
+val with_ : subsystem:string -> string -> (unit -> 'a) -> 'a
+(** [with_ ~subsystem name f] wraps [f] in a span; the span is closed
+    even if [f] raises. *)
+
+val timed :
+  subsystem:string -> name:string -> Metrics.histogram -> (unit -> 'a) -> 'a
+(** One-stop operation instrumentation: opens a span (when tracing)
+    and records the operation's virtual-time latency into the
+    histogram handle (when metrics are installed).  When neither is
+    active, calls [f] directly. *)

@@ -181,6 +181,42 @@ let prop_histogram_percentile_bounded =
           && float_of_int approx <= (float_of_int exact *. 1.05) +. 2.0)
         [ 50.0; 90.0; 99.0 ])
 
+let test_histogram_percentile_boundaries () =
+  (* below [linear_limit] every value has its own bucket: percentiles
+     are exact, including at the rank boundaries *)
+  let h = Histogram.create () in
+  for v = 0 to 63 do
+    Histogram.record h v
+  done;
+  Alcotest.(check int) "p1 -> rank 1" 0 (Histogram.percentile h 1.0);
+  Alcotest.(check int) "p25 -> rank 16" 15 (Histogram.percentile h 25.0);
+  Alcotest.(check int) "p50 -> rank 32" 31 (Histogram.percentile h 50.0);
+  Alcotest.(check int) "p100 -> rank 64" 63 (Histogram.percentile h 100.0);
+  (* empty histogram *)
+  Alcotest.(check int) "empty p99" 0 (Histogram.percentile (Histogram.create ()) 99.0);
+  (* negative samples clamp to zero *)
+  let hneg = Histogram.create () in
+  Histogram.record hneg (-5);
+  Alcotest.(check int) "negative clamps" 0 (Histogram.percentile hneg 50.0);
+  (* the log region reports a bucket upper bound: within one
+     sub-bucket (1/32 relative) above the sample, and capped at the
+     observed max so a top-bucket percentile never exceeds it *)
+  List.iter
+    (fun v ->
+      let h2 = Histogram.create () in
+      Histogram.record h2 v;
+      Histogram.record h2 (4 * v);
+      let p50 = Histogram.percentile h2 50.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "p50 of {%d,%d} in [%d, %d+width]" v (4 * v) v v)
+        true
+        (p50 >= v && p50 <= v + (v / 32) + 1);
+      Alcotest.(check int)
+        (Printf.sprintf "p100 of {%d,..} capped at max" v)
+        (4 * v)
+        (Histogram.percentile h2 100.0))
+    [ 64; 65; 127; 128; 1000; 65536; 1_000_000 ]
+
 let test_histogram_merge () =
   let a = Histogram.create () and b = Histogram.create () in
   Histogram.record a 10;
@@ -296,6 +332,8 @@ let () =
       ( "histogram",
         [ Alcotest.test_case "exact small values" `Quick
             test_histogram_exact_small;
+          Alcotest.test_case "percentile boundaries" `Quick
+            test_histogram_percentile_boundaries;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           qt prop_histogram_percentile_bounded ] );
       ( "stats",
