@@ -1,0 +1,23 @@
+.PHONY: all build test fmt ci bench
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Format check gates on ocamlformat being installed: the tree must
+# still build and test in environments that don't ship it.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+bench:
+	dune exec bench/main.exe
+
+ci: build test fmt

@@ -252,6 +252,51 @@ let write_json file bech_rows =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* Part 4: cluster macro-benchmark                                     *)
+
+(* Steady-state put cost and the data-plane failover window as the
+   replica group widens, in virtual cycles (so the numbers are exact
+   and reproducible, not host-dependent).  Reuses the E20 driver. *)
+let write_cluster_json file =
+  let module E20 = Chorus_experiments.E20_cluster in
+  print_endline "\n=====================================================";
+  print_endline " Cluster: throughput and failover window (virtual)";
+  print_endline "=====================================================\n";
+  let rows =
+    List.map
+      (fun nnodes ->
+        let window, tput_cycles, acked, ops =
+          E20.run_failover ~quick:true ~seed:42 ~nnodes
+        in
+        let per_put = tput_cycles / max 1 ops in
+        Printf.printf
+          "N=%d  acked %d/%d  cycles/put %d  failover window %s\n" nnodes
+          acked ops per_put
+          (if window = 0 then "n/a" else string_of_int window);
+        (nnodes, window, per_put, acked, ops))
+      [ 1; 3; 5 ]
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-cluster-v1\",\n";
+  Buffer.add_string b "  \"seed\": 42,\n";
+  Buffer.add_string b "  \"replica_groups\": [";
+  List.iteri
+    (fun i (n, window, per_put, acked, ops) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"nodes\": %d, \"puts_acked\": %d, \"puts_issued\": %d, \
+            \"cycles_per_put\": %d, \"failover_window_cycles\": %s }"
+           n acked ops per_put
+           (if window = 0 then "null" else string_of_int window)))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv in
   let tables = not (List.mem "--bechamel-only" args) in
@@ -259,5 +304,6 @@ let () =
   if tables then run_tables ();
   if bech then begin
     let rows = run_bechamel () in
-    write_json "BENCH_obs.json" rows
+    write_json "BENCH_obs.json" rows;
+    write_cluster_json "BENCH_cluster.json"
   end

@@ -341,10 +341,146 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const go $ id_arg $ full_arg $ seed_arg $ ring_arg $ chrome_arg)
 
+(* --------------------------------------------------------------- *)
+(* cluster: drive the sharded replicated KV cluster                   *)
+
+let cluster_cmd =
+  let doc =
+    "Boot the sharded, replicated KV cluster on a lossy fabric, drive \
+     it with a client workload (optionally crashing nodes mid-run), \
+     and print availability, election and healing statistics."
+  in
+  let module Machine = Chorus_machine.Machine in
+  let module Policy = Chorus_sched.Policy in
+  let module Runtime = Chorus.Runtime in
+  let module Fiber = Chorus.Fiber in
+  let module Fabric = Chorus_net.Fabric in
+  let module Stack = Chorus_net.Stack in
+  let module Faults = Chorus_workload.Faults in
+  let module Cluster = Chorus_cluster.Cluster in
+  let module Shardmap = Chorus_cluster.Shardmap in
+  let module Client = Chorus_cluster.Client in
+  let nodes_arg =
+    Arg.(value & opt int 5 & info [ "nodes" ] ~doc:"Cluster size.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 8 & info [ "shards" ] ~doc:"Shard count.")
+  in
+  let repl_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replication" ] ~doc:"Replicas per shard (capped at nodes).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 200 & info [ "ops" ] ~doc:"Client put/get pairs.")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~doc:"Fabric frame-loss probability (0..1).")
+  in
+  let crashes_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:"Node crashes to inject at exponential intervals.")
+  in
+  let go nnodes nshards replication ops loss crashes seed =
+    let stats =
+      Runtime.run
+        (Runtime.config ~policy:(Policy.round_robin ()) ~seed
+           (Machine.mesh ~cores:32))
+        (fun () ->
+          let net = Fabric.create ~latency:5_000 ~loss ~seed:(seed + 1) () in
+          let c = Cluster.create ~nshards ~replication ~seed ~nnodes net in
+          Cluster.start c;
+          let cstack =
+            Stack.create net (Fabric.attach net ~label:"client" ())
+          in
+          let client =
+            Client.create ~seed ~bootstrap:(Cluster.addrs c) cstack
+          in
+          Fiber.sleep 1_000_000;
+          let injector =
+            if crashes > 0 then begin
+              let addrs = Array.of_list (Cluster.addrs c) in
+              Some
+                (Faults.start_actions
+                   { Faults.mean_interval = 500_000;
+                     crashes;
+                     seed = seed + 7 }
+                   ~inject:(fun ~n ->
+                     let a = addrs.(n mod Array.length addrs) in
+                     if Cluster.node_up c a then begin
+                       Cluster.crash_node c a;
+                       true
+                     end
+                     else false))
+            end
+            else None
+          in
+          let acked = ref 0 and unavailable = ref 0 and wrong = ref 0 in
+          for i = 0 to ops - 1 do
+            let k = Printf.sprintf "key-%05d" i in
+            (match Client.put client k (string_of_int i) with
+            | `Ok -> incr acked
+            | `Unavailable -> incr unavailable);
+            match Client.get client k with
+            | `Found v when v = string_of_int i -> ()
+            | `Found _ | `Miss | `Unavailable -> incr wrong
+          done;
+          (match injector with Some inj -> Faults.wait inj | None -> ());
+          let t =
+            Tablefmt.create
+              ~title:
+                (Printf.sprintf
+                   "cluster: %d nodes, %d shards x%d, loss %.1f%%, %d \
+                    crashes"
+                   nnodes nshards
+                   (min replication nnodes)
+                   (100.0 *. loss) crashes)
+              ~columns:
+                [ ("metric", Tablefmt.Left); ("value", Tablefmt.Right) ]
+          in
+          let addi name v = Tablefmt.add_row t [ name; string_of_int v ] in
+          addi "puts acked" !acked;
+          addi "puts unavailable" !unavailable;
+          addi "reads missing an acked write" !wrong;
+          Tablefmt.add_row t
+            [ "availability";
+              Printf.sprintf "%.5f"
+                (float_of_int !acked /. float_of_int (max 1 ops)) ];
+          addi "elections started" (Cluster.elections_started c);
+          addi "leadership changes" (Cluster.leader_changes c);
+          addi "node crashes detected" (Cluster.node_crashes c);
+          addi "supervisor restarts" (Cluster.restarts c);
+          addi "client op retries" (Client.retries client);
+          addi "client leader redirects" (Client.redirects client);
+          Tablefmt.print t;
+          let leaders =
+            List.init nshards (fun s ->
+                Printf.sprintf "%d:%d" s (Cluster.leader_of c s))
+          in
+          Printf.printf "shard leaders  %s\n" (String.concat " " leaders);
+          Cluster.stop c)
+    in
+    Printf.printf
+      "\n%d virtual cycles, %d messages, %d protocol retransmissions\n"
+      stats.Chorus.Runstats.makespan stats.Chorus.Runstats.msgs
+      stats.Chorus.Runstats.retries
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const go $ nodes_arg $ shards_arg $ repl_arg $ ops_arg $ loss_arg
+      $ crashes_arg $ seed_arg)
+
 let () =
   let doc =
     "Chorus: a message-passing multicore OS simulator (HotOS XIII \
      reproduction)"
   in
   let info = Cmd.info "chorus_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; profile_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; profile_cmd; cluster_cmd ]))

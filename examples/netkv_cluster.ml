@@ -45,9 +45,9 @@ let () =
                     let k = Printf.sprintf "user:%d:%d" id i in
                     if Netkv.put kv k (string_of_int (i * i)) then begin
                       match Netkv.get kv k with
-                      | Some (Some v) when v = string_of_int (i * i) ->
+                      | `Ok (Some v) when v = string_of_int (i * i) ->
                         incr ok
-                      | _ -> incr failed
+                      | `Ok _ | `Net_fail -> incr failed
                     end
                     else incr failed
                   done))

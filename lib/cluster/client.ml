@@ -1,0 +1,202 @@
+module Fiber = Chorus.Fiber
+module Stack = Chorus_net.Stack
+module Rng = Chorus_util.Rng
+module Metrics = Chorus_obs.Metrics
+module Span = Chorus_obs.Span
+
+type t = {
+  stack : Stack.t;
+  bootstrap : int list;
+  attempts : int;
+  call_timeout : int;
+  backoff_base : int;
+  backoff_cap : int;
+  rng : Rng.t;
+  mutable map : Shardmap.t option;
+  hints : (int, int) Hashtbl.t;  (* shard -> last known leader *)
+  mutable retries : int;
+  mutable redirects : int;
+  mutable failed : int;
+  put_h : Metrics.histogram;
+  get_h : Metrics.histogram;
+}
+
+let create ?(attempts = 10) ?(call_timeout = 60_000) ?(backoff_base = 15_000)
+    ?(backoff_cap = 120_000) ~seed ~bootstrap stack =
+  if bootstrap = [] then invalid_arg "Client.create: no bootstrap nodes";
+  { stack;
+    bootstrap;
+    attempts;
+    call_timeout;
+    backoff_base;
+    backoff_cap;
+    rng = Rng.make (seed lxor (0x0c11e47 + (977 * Stack.addr stack)));
+    map = None;
+    hints = Hashtbl.create 8;
+    retries = 0;
+    redirects = 0;
+    failed = 0;
+    put_h = Metrics.histogram ~subsystem:"cluster" "client.put";
+    get_h = Metrics.histogram ~subsystem:"cluster" "client.get" }
+
+let retries t = t.retries
+
+let redirects t = t.redirects
+
+let ops_failed t = t.failed
+
+(* Bounded exponential backoff with +-25% jitter.  Same shape as the
+   stack's retransmission backoff but at operation granularity: a
+   whole election has to pass before a crashed leader's shard answers
+   again, so waits stretch toward the cap instead of hammering. *)
+let backoff t n =
+  let w = min t.backoff_cap (t.backoff_base * (1 lsl min n 3)) in
+  let j = w / 4 in
+  Fiber.sleep ((w - j) + Rng.int t.rng ((2 * j) + 1))
+
+let fetch_map t =
+  let rec try_nodes = function
+    | [] -> None
+    | node :: rest -> (
+      match
+        Stack.call t.stack ~dst:node ~port:Cluster.client_port
+          ~timeout:t.call_timeout ~attempts:2 "M"
+      with
+      | Some reply
+        when String.length reply > 1 && reply.[0] = 'm' -> (
+        match Shardmap.decode (String.sub reply 1 (String.length reply - 1)) with
+        | Some m -> Some m
+        | None -> try_nodes rest)
+      | Some _ | None -> try_nodes rest)
+  in
+  try_nodes t.bootstrap
+
+let rec ensure_map t n =
+  match t.map with
+  | Some m -> Some m
+  | None -> (
+    match fetch_map t with
+    | Some m ->
+      t.map <- Some m;
+      Some m
+    | None ->
+      if n + 1 >= t.attempts then None
+      else begin
+        t.retries <- t.retries + 1;
+        backoff t n;
+        ensure_map t (n + 1)
+      end)
+
+let encode_put k v =
+  let b = Buffer.create (String.length k + String.length v + 8) in
+  Buffer.add_char b 'P';
+  Wire.enc_str b k;
+  Wire.enc_str b v;
+  Buffer.contents b
+
+let encode_get k =
+  let b = Buffer.create (String.length k + 4) in
+  Buffer.add_char b 'G';
+  Wire.enc_str b k;
+  Buffer.contents b
+
+(* One routed operation: pick the hinted leader (else the preferred
+   replica), follow redirects immediately, rotate + back off on
+   timeout/retry.  [n] counts attempts that consumed backoff budget;
+   redirects are free but bounded by [t.attempts] total hops via
+   [hops]. *)
+let operation t ~key ~req =
+  match ensure_map t 0 with
+  | None ->
+    t.failed <- t.failed + 1;
+    `Unavailable
+  | Some map ->
+    let shard = Shardmap.shard_of_key map key in
+    let replicas = Shardmap.replicas map shard in
+    let nrep = Array.length replicas in
+    let target = ref
+        (match Hashtbl.find_opt t.hints shard with
+        | Some a -> a
+        | None -> replicas.(0))
+    and rotation = ref 0 in
+    let rotate () =
+      Hashtbl.remove t.hints shard;
+      incr rotation;
+      target := replicas.(!rotation mod nrep)
+    in
+    let rec go n hops =
+      if n >= t.attempts || hops >= 4 * t.attempts then begin
+        t.failed <- t.failed + 1;
+        `Unavailable
+      end
+      else begin
+        let retry ?(redirect = false) () =
+          if redirect then go n (hops + 1)
+          else begin
+            t.retries <- t.retries + 1;
+            backoff t n;
+            go (n + 1) (hops + 1)
+          end
+        in
+        match
+          Stack.call t.stack ~dst:!target ~port:Cluster.client_port
+            ~timeout:t.call_timeout ~attempts:2 req
+        with
+        | None ->
+          (* node silent: likely down, try the next replica *)
+          rotate ();
+          retry ()
+        | Some reply when String.length reply = 0 -> rotate (); retry ()
+        | Some reply -> (
+          match reply.[0] with
+          | 'A' ->
+            Hashtbl.replace t.hints shard !target;
+            `Acked
+          | 'F' ->
+            Hashtbl.replace t.hints shard !target;
+            `Found (String.sub reply 1 (String.length reply - 1))
+          | 'M' ->
+            Hashtbl.replace t.hints shard !target;
+            `Miss
+          | 'L' -> (
+            match int_of_string_opt (String.sub reply 1 (String.length reply - 1)) with
+            | Some hint when hint >= 0 && hint <> !target ->
+              (* free fast-path: the follower told us who leads *)
+              t.redirects <- t.redirects + 1;
+              Hashtbl.replace t.hints shard hint;
+              target := hint;
+              retry ~redirect:true ()
+            | Some _ | None ->
+              (* no leader yet: wait out the election *)
+              rotate ();
+              retry ())
+          | 'R' ->
+            (* proposal lost to a leadership change: same target may
+               well have recovered, but re-route defensively *)
+            rotate ();
+            retry ()
+          | 'X' ->
+            (* wrong node: our map is stale, refetch *)
+            t.map <- None;
+            (match ensure_map t 0 with Some _ -> () | None -> ());
+            rotate ();
+            retry ()
+          | _ -> rotate (); retry ())
+      end
+    in
+    go 0 0
+
+let put t k v =
+  Span.timed ~subsystem:"cluster" ~name:"client.put" t.put_h @@ fun () ->
+  match operation t ~key:k ~req:(encode_put k v) with
+  | `Acked -> `Ok
+  | `Found _ | `Miss -> `Ok  (* cannot happen for a put *)
+  | `Unavailable -> `Unavailable
+
+let get t k =
+  Span.timed ~subsystem:"cluster" ~name:"client.get" t.get_h @@ fun () ->
+  match operation t ~key:k ~req:(encode_get k) with
+  | `Found v -> `Found v
+  | `Miss -> `Miss
+  | `Acked -> `Miss  (* cannot happen for a get *)
+  | `Unavailable -> `Unavailable

@@ -1,0 +1,38 @@
+(** Smart cluster client: map discovery, shard routing, leader
+    tracking and retry with bounded exponential backoff.
+
+    A client is a plain fabric node with its own {!Chorus_net.Stack}.
+    On first use it fetches the {!Shardmap} from a bootstrap node, then
+    routes each operation to the owning shard's replicas directly.
+    ["L<addr>"] redirects are followed immediately (no backoff — the
+    cluster just told us where to go); timeouts and ["R"] retries back
+    off exponentially with seed-derived jitter and rotate to the next
+    replica, so a crashed leader costs one election's worth of retries,
+    not a wedge.  Acked puts ([`Ok]) are committed on a majority and
+    survive any single node crash; gets are proposed through the log,
+    so reads are linearizable. *)
+
+type t
+
+val create :
+  ?attempts:int -> ?call_timeout:int -> ?backoff_base:int ->
+  ?backoff_cap:int -> seed:int -> bootstrap:int list ->
+  Chorus_net.Stack.t -> t
+(** [bootstrap] lists node addresses tried in order for map discovery.
+    Defaults: [attempts] 10 per operation, [call_timeout] 60k cycles
+    per RPC, backoff base 15k doubling to a 120k cap, +-25%
+    seed-derived jitter. *)
+
+val put : t -> string -> string -> [ `Ok | `Unavailable ]
+
+val get : t -> string -> [ `Found of string | `Miss | `Unavailable ]
+
+val retries : t -> int
+(** Operation-level retries performed (not counting the stack's own
+    frame retransmissions). *)
+
+val redirects : t -> int
+(** ["L<addr>"] leader redirects followed. *)
+
+val ops_failed : t -> int
+(** Operations that exhausted every attempt ([`Unavailable]). *)

@@ -1,0 +1,305 @@
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Fabric = Chorus_net.Fabric
+module Stack = Chorus_net.Stack
+module Supervisor = Chorus_kernel.Supervisor
+module Notify = Chorus_kernel.Notify
+module Metrics = Chorus_obs.Metrics
+
+let client_port = 7000
+
+let raft_port = 7100
+
+type node = {
+  addr : int;
+  stack : Stack.t;
+  rafts : (int * Raft.t) list;  (* shard -> replica, ascending shards *)
+  mutable incarnation : int;
+  mutable root : Fiber.t option;
+  mutable subs : Fiber.t list;  (* current incarnation's fibers *)
+  mutable up : bool;
+  mutable inflight : int;  (* proposals parked in worker fibers *)
+  depth_g : Metrics.gauge;
+}
+
+type t = {
+  map : Shardmap.t;
+  map_wire : string;  (* "m" ^ encoding, served on 'M' *)
+  nodes : node array;
+  notify : Notify.t option;
+  mutable sup : Supervisor.t option;
+  mutable elections : int;
+  mutable leader_changes : int;
+  mutable crashes : int;
+}
+
+let publish t ev =
+  match t.notify with None -> () | Some n -> Notify.publish n ev
+
+let on_raft_event t (ev : Raft.event) =
+  match ev with
+  | Raft.Election_started _ -> t.elections <- t.elections + 1
+  | Raft.Leader_won { shard; node; _ } ->
+    t.leader_changes <- t.leader_changes + 1;
+    publish t
+      (Notify.Custom (Printf.sprintf "cluster:shard%d:leader:%d" shard node))
+  | Raft.Stepped_down _ -> ()
+
+let create ?raft ?notify ~nshards ~replication ~seed ~nnodes fabric =
+  if nnodes <= 0 then invalid_arg "Cluster.create: nnodes";
+  let rcfg =
+    match raft with Some c -> c | None -> Raft.default_config ~seed
+  in
+  let nics =
+    Array.init nnodes (fun i ->
+        Fabric.attach fabric ~label:(Printf.sprintf "node%d" i) ())
+  in
+  let addrs = Array.to_list (Array.map Fabric.addr nics) in
+  let map = Shardmap.build ~nshards ~replication addrs in
+  (* tie the knot: raft event callbacks need the cluster record *)
+  let t_ref = ref None in
+  let on_event ev =
+    match !t_ref with None -> () | Some t -> on_raft_event t ev
+  in
+  let nodes =
+    Array.map
+      (fun nic ->
+        let addr = Fabric.addr nic in
+        let stack = Stack.create fabric nic in
+        let rafts =
+          List.map
+            (fun shard ->
+              let peers =
+                Shardmap.replicas map shard
+                |> Array.to_list
+                |> List.filter (fun a -> a <> addr)
+                |> Array.of_list
+              in
+              (shard, Raft.create rcfg ~stack ~raft_port ~shard ~peers ~on_event))
+            (Shardmap.shards_of_node map addr)
+        in
+        { addr;
+          stack;
+          rafts;
+          incarnation = 0;
+          root = None;
+          subs = [];
+          up = false;
+          inflight = 0;
+          depth_g =
+            Metrics.gauge ~subsystem:"cluster"
+              (Printf.sprintf "node%d.inflight" addr) })
+      nics
+  in
+  let t =
+    { map;
+      map_wire = "m" ^ Shardmap.encode map;
+      nodes;
+      notify;
+      sup = None;
+      elections = 0;
+      leader_changes = 0;
+      crashes = 0 }
+  in
+  t_ref := Some t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+
+let parse_cmd payload =
+  match payload.[0] with
+  | 'P' ->
+    let r = Wire.reader ~pos:1 payload in
+    let k = Wire.str_ r in
+    let v = Wire.str_ r in
+    Some (k, Raft.Put (k, v))
+  | 'G' ->
+    let r = Wire.reader ~pos:1 payload in
+    let k = Wire.str_ r in
+    Some (k, Raft.Get k)
+  | _ -> None
+  | exception _ -> None
+
+let track_inflight node d =
+  node.inflight <- node.inflight + d;
+  Metrics.observe node.depth_g node.inflight
+
+(* Runs in the client-port serve fiber: must not block.  Leader ops are
+   handed to a registered worker fiber; everything else answers
+   inline. *)
+let handle_client t node ~register ~src:_ payload ~reply =
+  if payload = "M" then reply t.map_wire
+  else
+    match parse_cmd payload with
+    | None -> reply "X"
+    | Some (key, cmd) -> (
+      let shard = Shardmap.shard_of_key t.map key in
+      match List.assoc_opt shard node.rafts with
+      | None -> reply "X"  (* not a replica: client's map is stale *)
+      | Some r ->
+        if Raft.role r <> Raft.Leader then
+          reply (Printf.sprintf "L%d" (Raft.leader_hint r))
+        else begin
+          track_inflight node 1;
+          register
+            (Fiber.spawn
+               ~label:(Printf.sprintf "prop-n%d-s%d" node.addr shard)
+               ~daemon:true
+               (fun () ->
+                 let answer =
+                   match Raft.propose r cmd with
+                   | `Ok payload -> payload
+                   | `Not_leader h -> Printf.sprintf "L%d" h
+                   | `Retry -> "R"
+                 in
+                 track_inflight node (-1);
+                 reply answer))
+        end)
+
+let handle_raft node ~src payload ~reply =
+  match
+    let op = payload.[0] in
+    let r = Wire.reader ~pos:1 payload in
+    let shard = Wire.int_ r in
+    (op, shard, r)
+  with
+  | exception _ -> reply "X"
+  | op, shard, r -> (
+    match List.assoc_opt shard node.rafts with
+    | None -> reply "X"
+    | Some raft -> (
+      match Raft.handle_rpc raft ~src ~op r with
+      | answer -> reply answer
+      | exception Wire.Malformed -> reply "X"))
+
+(* ------------------------------------------------------------------ *)
+(* Node lifecycle                                                      *)
+
+let start_node t ni =
+  let node = t.nodes.(ni) in
+  node.incarnation <- node.incarnation + 1;
+  let inc = node.incarnation in
+  (* crash recovery: volatile raft state is gone, log/term survive *)
+  List.iter (fun (_, r) -> Raft.reset_volatile r) node.rafts;
+  node.subs <- [];
+  node.inflight <- 0;
+  let register f =
+    if node.incarnation = inc then node.subs <- f :: node.subs
+    else Fiber.kill f  (* spawned by a fiber leaked across a crash *)
+  in
+  let root =
+    Fiber.spawn
+      ~label:(Printf.sprintf "node%d" node.addr)
+      ~daemon:true
+      (fun () ->
+        node.up <- true;
+        publish t (Notify.Custom (Printf.sprintf "cluster:node%d:up" node.addr));
+        register
+          (Fiber.spawn
+             ~label:(Printf.sprintf "raft-srv-%d" node.addr)
+             ~daemon:true
+             (fun () ->
+               Stack.serve_async node.stack ~port:raft_port
+                 (handle_raft node)));
+        register
+          (Fiber.spawn
+             ~label:(Printf.sprintf "kv-srv-%d" node.addr)
+             ~daemon:true
+             (fun () ->
+               Stack.serve_async node.stack ~port:client_port
+                 (handle_client t node ~register)));
+        List.iter
+          (fun (_, r) -> register (Raft.start_timer r ~register))
+          node.rafts;
+        (* park forever: this fiber is the node's kill target *)
+        Chan.recv (Chan.rendezvous ~label:"park" ()))
+  in
+  (* the cluster's own monitor coexists with the supervisor's: it is
+     the failure detector's control-plane half, reaping the dead
+     incarnation and announcing the membership change *)
+  node.root <- Some root;
+  Fiber.monitor root (fun ~time:_ _st ->
+      if node.incarnation = inc then begin
+        node.up <- false;
+        t.crashes <- t.crashes + 1;
+        publish t
+          (Notify.Custom (Printf.sprintf "cluster:node%d:down" node.addr));
+        let doomed = node.subs in
+        node.subs <- [];
+        List.iter (fun (_, r) -> Raft.reset_volatile r) node.rafts;
+        List.iter (fun f -> if Fiber.alive f then Fiber.kill f) doomed
+      end);
+  root
+
+let start ?(max_restarts = 100) ?(window = 50_000_000) t =
+  match t.sup with
+  | Some _ -> invalid_arg "Cluster.start: already started"
+  | None ->
+    let specs =
+      Array.to_list
+        (Array.mapi
+           (fun i n ->
+             { Supervisor.cname = Printf.sprintf "node%d" n.addr;
+               cstart = (fun () -> start_node t i) })
+           t.nodes)
+    in
+    t.sup <- Some (Supervisor.start ~max_restarts ~window One_for_one specs)
+
+let stop t =
+  (match t.sup with Some s -> Supervisor.stop s | None -> ());
+  Array.iter
+    (fun n ->
+      let doomed = n.subs in
+      n.subs <- [];
+      n.incarnation <- n.incarnation + 1;
+      n.up <- false;
+      List.iter (fun f -> if Fiber.alive f then Fiber.kill f) doomed)
+    t.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let map t = t.map
+
+let addrs t = Shardmap.nodes t.map
+
+let node_by_addr t addr =
+  let found = ref None in
+  Array.iter (fun n -> if n.addr = addr then found := Some n) t.nodes;
+  !found
+
+let node_up t addr =
+  match node_by_addr t addr with Some n -> n.up | None -> false
+
+let crash_node t addr =
+  match node_by_addr t addr with
+  | None -> invalid_arg "Cluster.crash_node: unknown address"
+  | Some node -> (
+    match node.root with
+    | Some f when Fiber.alive f -> Fiber.kill f
+    | Some _ | None -> ())
+
+let leader_of t shard =
+  let leader = ref (-1) in
+  Array.iter
+    (fun n ->
+      if n.up then
+        match List.assoc_opt shard n.rafts with
+        | Some r when Raft.role r = Raft.Leader -> leader := n.addr
+        | Some _ | None -> ())
+    t.nodes;
+  !leader
+
+let elections_started t = t.elections
+
+let leader_changes t = t.leader_changes
+
+let node_crashes t = t.crashes
+
+let restarts t = match t.sup with Some s -> Supervisor.restarts s | None -> 0
+
+let raft_of t ~node ~shard =
+  match node_by_addr t node with
+  | None -> None
+  | Some n -> List.assoc_opt shard n.rafts

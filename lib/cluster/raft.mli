@@ -1,0 +1,97 @@
+(** A deterministic Raft-style replication core for one shard.
+
+    Each replica of a shard's replica group runs this state machine on
+    its node: randomized-by-seed election timeouts elect a leader;
+    the leader replicates a term-tagged command log to its peers over
+    {!Chorus_net.Stack.call} (one replicator fiber per follower, the
+    paper's driver pattern); an entry is committed once a majority
+    acknowledges it, and only committed entries are applied to the
+    key-value store or acknowledged to clients.  Elections grant votes
+    only to candidates whose log is at least as up to date, so an
+    acknowledged write survives any single leader crash.
+
+    Everything stochastic (election timeouts) draws from a replica-local
+    seeded {!Chorus_util.Rng}, and all communication rides the
+    deterministic engine, so whole-cluster runs — elections, failovers
+    and all — are byte-identical for the same seed.
+
+    Crash/restart model: {!reset_volatile} wipes exactly the state Raft
+    declares volatile (role, leader hint, peer indexes, client waiters)
+    while term, vote and log survive as modeled stable storage. *)
+
+type config = {
+  heartbeat : int;  (** leader append/heartbeat interval, cycles *)
+  election_lo : int;  (** election timeout drawn from \[lo, hi) *)
+  election_hi : int;
+  rpc_timeout : int;  (** per-attempt timeout of raft RPCs *)
+  propose_timeout : int;  (** client-visible wait for commit+apply *)
+  seed : int;
+}
+
+val default_config : seed:int -> config
+(** heartbeat 25k, election 120k–240k, rpc timeout 30k, propose
+    timeout 200k cycles. *)
+
+type role = Follower | Candidate | Leader
+
+type cmd = Nop | Put of string * string | Get of string
+
+type event =
+  | Election_started of { shard : int; node : int; term : int }
+  | Leader_won of { shard : int; node : int; term : int }
+  | Stepped_down of { shard : int; node : int; term : int }
+
+type t
+
+val create :
+  config -> stack:Chorus_net.Stack.t -> raft_port:int -> shard:int ->
+  peers:int array -> on_event:(event -> unit) -> t
+(** [peers] are the other group members' addresses (exclude self). *)
+
+(** {1 Introspection} *)
+
+val role : t -> role
+
+val term : t -> int
+
+val leader_hint : t -> int
+(** Last known leader address, [-1] when unknown. *)
+
+val commit_index : t -> int
+
+val log_length : t -> int
+
+val elections_started : t -> int
+
+val elections_won : t -> int
+
+val appends_sent : t -> int
+
+val applied : t -> int
+
+(** {1 Node integration} *)
+
+val start_timer : t -> register:(Chorus.Fiber.t -> unit) -> Chorus.Fiber.t
+(** Spawn the election-timer fiber (daemon) and return it.  Every
+    fiber the replica spawns from this lineage (vote gatherers, leader
+    replicators) is passed to [register] so the owning node can kill
+    them all on a crash. *)
+
+val reset_volatile : t -> unit
+(** Crash recovery: demote to follower, forget the leader, drop client
+    waiters and invalidate stale fibers of earlier lineages.  Term,
+    vote and log persist. *)
+
+val handle_rpc : t -> src:int -> op:char -> Wire.reader -> string
+(** Dispatch one raft RPC ([op] is ['V'] request-vote or ['E']
+    append-entries; the reader is positioned after the shard field).
+    Never blocks; called from the node's raft-port serve loop.
+    Raises {!Wire.Malformed} on a bad payload. *)
+
+val propose : t -> cmd -> [ `Ok of string | `Not_leader of int | `Retry ]
+(** Submit a command on the leader and wait until it is applied (or
+    until [propose_timeout]).  [`Ok payload] carries the apply result
+    ("A" for puts, "F<v>"/"M" for gets); [`Not_leader hint] redirects;
+    [`Retry] means leadership was lost or the wait timed out — the
+    entry may or may not commit later, so callers must treat it as
+    unacknowledged.  Blocks: call from a worker fiber. *)

@@ -49,6 +49,7 @@ type counters = {
   mutable segments : int;
   mutable events : int;
   mutable wakes : int;
+  mutable retries : int;
 }
 
 type config = {
@@ -119,7 +120,7 @@ let create (config : config) =
     fibers = [];
     cnt =
       { msgs = 0; remote_msgs = 0; words_copied = 0; hops = 0; spawns = 0;
-        steals = 0; segments = 0; events = 0; wakes = 0 };
+        steals = 0; segments = 0; events = 0; wakes = 0; retries = 0 };
   }
 
 let machine t = t.machine
@@ -521,7 +522,14 @@ let run t main =
           if time > t.horizon then t.horizon <- time;
           t.cnt.events <- t.cnt.events + 1;
           if t.config.max_events > 0 && t.cnt.events > t.config.max_events
-          then failwith "Engine.run: event cap exceeded (runaway loop?)";
+          then begin
+            (* a crashed main plus looping daemons would otherwise hide
+               the real error behind the cap failure *)
+            match t.main_crash with
+            | Some e -> raise e
+            | None ->
+              failwith "Engine.run: event cap exceeded (runaway loop?)"
+          end;
           thunk ();
           loop ()
       in

@@ -169,6 +169,9 @@ type counters = {
   mutable segments : int;
   mutable events : int;
   mutable wakes : int;
+  mutable retries : int;
+      (** protocol-level retransmissions (updated by library code, e.g.
+          {!Stack.call} retry attempts) *)
 }
 
 val counters : t -> counters

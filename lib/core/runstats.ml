@@ -11,6 +11,7 @@ type t = {
   segments : int;
   events : int;
   wakes : int;
+  retries : int;
 }
 
 let of_engine eng =
@@ -35,7 +36,8 @@ let of_engine eng =
     steals = c.Engine.steals;
     segments = c.Engine.segments;
     events = c.Engine.events;
-    wakes = c.Engine.wakes }
+    wakes = c.Engine.wakes;
+    retries = c.Engine.retries }
 
 let throughput t ~ops =
   if t.makespan = 0 then 0.0

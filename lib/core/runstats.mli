@@ -13,6 +13,7 @@ type t = {
   segments : int;
   events : int;
   wakes : int;
+  retries : int;  (** protocol retransmissions (e.g. [Stack.call] retries) *)
 }
 
 val of_engine : Engine.t -> t

@@ -94,7 +94,13 @@ let all =
       claim =
         "kernel components are just threads; scheduling them is a new \
          difficulty (S5)";
-      run = E19_driver_priority.run } ]
+      run = E19_driver_priority.run };
+    { id = "e20";
+      title = "Replicated cluster on the fabric";
+      claim =
+        "structurally similar to a client/server network application; \
+         aim for not failing (S1/S5)";
+      run = E20_cluster.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

@@ -100,8 +100,8 @@ let put c k v =
 let get c k =
   Span.timed ~subsystem:"netkv" ~name:"get" c.get_h @@ fun () ->
   match Stack.call c.stack ~dst:c.server_addr ~port:c.port (encode_get k) with
-  | None -> None
+  | None -> `Net_fail
   | Some reply ->
     if String.length reply >= 1 && reply.[0] = 'F' then
-      Some (Some (String.sub reply 1 (String.length reply - 1)))
-    else Some None
+      `Ok (Some (String.sub reply 1 (String.length reply - 1)))
+    else `Ok None

@@ -32,6 +32,7 @@ val put : client -> string -> string -> bool
 (** [put c k v] returns false if the network gave up (retries
     exhausted). *)
 
-val get : client -> string -> string option option
-(** [get c k]: [None] = network failure; [Some None] = not found;
-    [Some (Some v)] = found. *)
+val get : client -> string -> [ `Ok of string option | `Net_fail ]
+(** [get c k]: [`Ok (Some v)] = found, [`Ok None] = the server answered
+    and the key is absent, [`Net_fail] = the network gave up (retries
+    exhausted) and nothing is known about the key. *)

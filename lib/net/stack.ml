@@ -1,5 +1,6 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
+module Rng = Chorus_util.Rng
 
 type rel_stats = {
   mutable calls : int;
@@ -16,6 +17,14 @@ type t = {
       (** outstanding reliable calls, by seq *)
   reply_demux_on : (int, unit) Hashtbl.t;
       (** reply ports whose demux fiber is running *)
+  served : (int, (int * int, string option) Hashtbl.t) Hashtbl.t;
+      (** per-port duplicate-suppression state for {!serve_async}:
+          (peer, seq) -> None while in flight, Some reply once sent.
+          Lives on the stack, not in the serve fiber, so a restarted
+          server keeps exactly-once semantics across the crash. *)
+  retry_rng : Rng.t;
+      (** jitter for retransmission backoff; seeded from the NIC
+          address so streams are deterministic and per-node *)
   stats : rel_stats;
   mutable next_seq : int;
 }
@@ -27,6 +36,8 @@ let create fabric nic =
       ports = Hashtbl.create 8;
       pending = Hashtbl.create 8;
       reply_demux_on = Hashtbl.create 4;
+      served = Hashtbl.create 4;
+      retry_rng = Rng.make (0x57ac + (131 * Fabric.addr nic));
       stats =
         { calls = 0; retransmissions = 0; failures = 0;
           duplicates_served = 0 };
@@ -99,6 +110,20 @@ let ensure_reply_demux t port =
            loop ()))
   end
 
+(* Retransmission waits back off exponentially (2x per retry, bounded
+   at 8x the base) with a +-12.5% seed-derived jitter, so callers
+   hammering a dead peer de-synchronize instead of retrying in
+   lockstep.  The first attempt always waits exactly [timeout]: a run
+   that never retransmits is cycle-identical to the fixed-interval
+   protocol. *)
+let retry_wait t ~base n =
+  if n = 0 then base
+  else begin
+    let w = base * (1 lsl min n 3) in
+    let j = w / 8 in
+    (w - j) + Rng.int t.retry_rng ((2 * j) + 1)
+  end
+
 let call t ~dst ~port ?(timeout = 50_000) ?(attempts = 5) req =
   t.stats.calls <- t.stats.calls + 1;
   ensure_reply_demux t port;
@@ -113,14 +138,62 @@ let call t ~dst ~port ?(timeout = 50_000) ?(attempts = 5) req =
       None
     end
     else begin
-      if n > 0 then t.stats.retransmissions <- t.stats.retransmissions + 1;
+      if n > 0 then begin
+        t.stats.retransmissions <- t.stats.retransmissions + 1;
+        let c = Chorus.Engine.counters (Chorus.Engine.current ()) in
+        c.Chorus.Engine.retries <- c.Chorus.Engine.retries + 1
+      end;
       send t ~dst ~port ~seq req;
       Chan.choose
         [ Chan.recv_case one_shot (fun payload -> Some payload);
-          Chan.after timeout (fun () -> attempt (n + 1)) ]
+          Chan.after (retry_wait t ~base:timeout n) (fun () -> attempt (n + 1)) ]
     end
   in
   attempt 0
+
+let serve_async t ~port handler =
+  (* reuse the port channel when a previous server incarnation already
+     registered it: a restarted service resumes the same endpoint *)
+  let requests =
+    match Hashtbl.find_opt t.ports port with
+    | Some ch -> ch
+    | None -> listen t ~port
+  in
+  let seen =
+    match Hashtbl.find_opt t.served port with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.replace t.served port tbl;
+      tbl
+  in
+  let rec loop () =
+    let f = Chan.recv requests in
+    let key = (f.Fabric.src, f.Fabric.seq) in
+    (match Hashtbl.find_opt seen key with
+    | Some (Some cached) ->
+      (* completed earlier: replay the reply *)
+      t.stats.duplicates_served <- t.stats.duplicates_served + 1;
+      send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq
+        cached
+    | Some None ->
+      (* still in flight: the eventual reply will answer this
+         retransmission too, so just swallow it *)
+      t.stats.duplicates_served <- t.stats.duplicates_served + 1
+    | None ->
+      Hashtbl.replace seen key None;
+      let src = f.Fabric.src and seq = f.Fabric.seq in
+      let reply r =
+        match Hashtbl.find_opt seen key with
+        | Some (Some _) -> ()  (* double reply: keep the first *)
+        | Some None | None ->
+          Hashtbl.replace seen key (Some r);
+          send t ~dst:src ~port:(reply_port port) ~seq r
+      in
+      handler ~src f.Fabric.payload ~reply);
+    loop ()
+  in
+  loop ()
 
 let serve t ~port handler =
   let requests = listen t ~port in

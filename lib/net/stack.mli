@@ -37,11 +37,29 @@ val call :
   t -> dst:int -> port:int -> ?timeout:int -> ?attempts:int -> string ->
   string option
 (** [call t ~dst ~port req] sends the request and waits for the
-    matching reply, retransmitting on [timeout] (default 4x the wire
-    round trip heuristic: 50k cycles) up to [attempts] times (default
-    5).  [None] when every attempt timed out. *)
+    matching reply, retransmitting up to [attempts] times (default 5).
+    The first attempt waits [timeout] cycles (default 4x the wire round
+    trip heuristic: 50k); each retry backs off exponentially (2x per
+    retry, bounded at 8x the base) with a seed-derived +-12.5% jitter
+    so concurrent callers de-synchronize.  Every retransmission is also
+    counted in the run's {!Chorus.Runstats.t.retries}.  [None] when
+    every attempt timed out. *)
 
 val serve : t -> port:int -> (src:int -> string -> string) -> unit
 (** Serve requests on [port] forever (run in a daemon fiber):
     deduplicates retransmitted requests by (peer, seq), replaying the
     cached reply instead of re-executing the handler. *)
+
+val serve_async :
+  t -> port:int ->
+  (src:int -> string -> reply:(string -> unit) -> unit) -> unit
+(** Like {!serve} but the handler answers through the [reply] callback
+    instead of a return value, so it may hand slow requests to worker
+    fibers and keep the port loop responsive.  The handler itself runs
+    in the serving fiber and must not block.  Duplicate suppression
+    covers in-flight requests (retransmissions of an unanswered request
+    are swallowed; the eventual reply answers them) and, unlike
+    {!serve}, survives server restarts: the (peer, seq) cache and the
+    port channel live on the stack, so calling [serve_async] again on
+    the same port after the serving fiber died resumes the same
+    endpoint with exactly-once semantics intact. *)

@@ -10,25 +10,31 @@ type t = {
   done_ch : unit Chan.t;
 }
 
-let start cfg ~victims =
+let start_actions cfg ~inject =
   let t = { injected = 0; log = []; done_ch = Chan.buffered 1 } in
   let rng = Rng.make cfg.seed in
   ignore
     (Fiber.spawn ~label:"fault-injector" ~daemon:true (fun () ->
-         for _ = 1 to cfg.crashes do
+         for n = 1 to cfg.crashes do
            let gap =
              1 + int_of_float (Rng.exponential rng (float_of_int cfg.mean_interval))
            in
            Fiber.sleep gap;
-           match victims () with
-           | Some f when Fiber.alive f ->
+           if inject ~n then begin
              t.injected <- t.injected + 1;
-             t.log <- Fiber.now () :: t.log;
-             Fiber.kill f
-           | Some _ | None -> ()
+             t.log <- Fiber.now () :: t.log
+           end
          done;
          Chan.send t.done_ch ()));
   t
+
+let start cfg ~victims =
+  start_actions cfg ~inject:(fun ~n:_ ->
+      match victims () with
+      | Some f when Fiber.alive f ->
+        Fiber.kill f;
+        true
+      | Some _ | None -> false)
 
 let injected t = t.injected
 

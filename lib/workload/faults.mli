@@ -17,6 +17,13 @@ val start : config -> victims:(unit -> Chorus.Fiber.t option) -> t
     from a registry); [None] skips that injection.  The injector runs
     as a daemon fiber. *)
 
+val start_actions : config -> inject:(n:int -> bool) -> t
+(** Generalized injector for faults that are not a single fiber kill:
+    [inject ~n] performs the [n]-th fault (1-based) — e.g. crash a
+    whole cluster node — returning whether anything was actually
+    injected.  Same exponential schedule and determinism as
+    {!start}. *)
+
 val injected : t -> int
 
 val log : t -> int list

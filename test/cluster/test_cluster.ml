@@ -1,0 +1,350 @@
+(* Tests for the sharded, replicated KV cluster: shard map purity,
+   cold-start elections, durability of acked writes across a leader
+   crash, availability under combined loss and crash injection, and
+   whole-cluster determinism. *)
+
+module Machine = Chorus_machine.Machine
+module Policy = Chorus_sched.Policy
+module Runtime = Chorus.Runtime
+module Runstats = Chorus.Runstats
+module Fiber = Chorus.Fiber
+module Fabric = Chorus_net.Fabric
+module Stack = Chorus_net.Stack
+module Notify = Chorus_kernel.Notify
+module Shardmap = Chorus_cluster.Shardmap
+module Raft = Chorus_cluster.Raft
+module Cluster = Chorus_cluster.Cluster
+module Client = Chorus_cluster.Client
+
+let run ?(seed = 21) ?(cores = 16) main =
+  Runtime.run
+    (Runtime.config ~policy:(Policy.round_robin ()) ~seed
+       (Machine.mesh ~cores))
+    main
+
+(* ------------------------------------------------------------------ *)
+(* Shard map                                                           *)
+
+let test_shardmap_pure () =
+  let nodes = [ 0; 1; 2; 3; 4 ] in
+  let a = Shardmap.build ~nshards:16 ~replication:3 nodes in
+  let b = Shardmap.build ~nshards:16 ~replication:3 nodes in
+  Alcotest.(check string)
+    "same nodes, same map" (Shardmap.encode a) (Shardmap.encode b);
+  for s = 0 to 15 do
+    let g = Shardmap.replicas a s in
+    Alcotest.(check int) "replication degree" 3 (Array.length g);
+    let distinct = List.sort_uniq compare (Array.to_list g) in
+    Alcotest.(check int) "replicas distinct" 3 (List.length distinct)
+  done;
+  (* every key maps to a shard in range, stably *)
+  List.iter
+    (fun k ->
+      let s = Shardmap.shard_of_key a k in
+      Alcotest.(check bool) "shard in range" true (s >= 0 && s < 16);
+      Alcotest.(check int) "stable" s (Shardmap.shard_of_key b k))
+    [ "alpha"; "beta"; ""; "x"; String.make 100 'q' ]
+
+let test_shardmap_roundtrip () =
+  let m = Shardmap.build ~nshards:8 ~replication:2 [ 3; 1; 4; 1; 5 ] in
+  match Shardmap.decode (Shardmap.encode m) with
+  | None -> Alcotest.fail "decode failed"
+  | Some m' ->
+    Alcotest.(check int) "version" (Shardmap.version m) (Shardmap.version m');
+    Alcotest.(check (list int)) "nodes" (Shardmap.nodes m) (Shardmap.nodes m');
+    Alcotest.(check string)
+      "re-encodes identically" (Shardmap.encode m) (Shardmap.encode m');
+    for s = 0 to 7 do
+      Alcotest.(check (list int))
+        "group"
+        (Array.to_list (Shardmap.replicas m s))
+        (Array.to_list (Shardmap.replicas m' s))
+    done
+
+let test_shardmap_decode_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Shardmap.decode "not;a;map" = None);
+  Alcotest.(check bool) "empty rejected" true (Shardmap.decode "" = None)
+
+let test_shardmap_spread () =
+  (* consistent hashing should touch every node with enough shards *)
+  let nodes = [ 0; 1; 2; 3; 4 ] in
+  let m = Shardmap.build ~nshards:32 ~replication:3 nodes in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d owns some shard" n)
+        true
+        (Shardmap.shards_of_node m n <> []))
+    nodes
+
+(* ------------------------------------------------------------------ *)
+(* Cluster behaviour                                                   *)
+
+let mk_cluster ?(loss = 0.0) ?(nnodes = 3) ?(nshards = 4)
+    ?(replication = 3) ?(seed = 7) () =
+  let net = Fabric.create ~latency:5_000 ~loss ~seed () in
+  let c = Cluster.create ~nshards ~replication ~seed ~nnodes net in
+  Cluster.start c;
+  let cstack = Stack.create net (Fabric.attach net ~label:"client" ()) in
+  let client =
+    Client.create ~seed ~bootstrap:(Cluster.addrs c) cstack
+  in
+  (net, c, client)
+
+let test_cold_start_election () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let _, c, client = mk_cluster () in
+        Fiber.sleep 800_000;
+        for s = 0 to Shardmap.nshards (Cluster.map c) - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %d elected a leader" s)
+            true
+            (Cluster.leader_of c s >= 0)
+        done;
+        Alcotest.(check bool) "elections ran" true
+          (Cluster.elections_started c > 0);
+        Alcotest.(check bool) "put acked" true
+          (Client.put client "alpha" "1" = `Ok);
+        Alcotest.(check bool) "get hit" true
+          (Client.get client "alpha" = `Found "1");
+        Alcotest.(check bool) "get miss" true
+          (Client.get client "absent" = `Miss);
+        Cluster.stop c)
+  in
+  ()
+
+let test_leader_crash_durability () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let _, c, client = mk_cluster ~nshards:2 () in
+        Fiber.sleep 800_000;
+        let key i = Printf.sprintf "key-%03d" i in
+        for i = 0 to 9 do
+          Alcotest.(check bool)
+            (Printf.sprintf "put %d acked" i)
+            true
+            (Client.put client (key i) (string_of_int i) = `Ok)
+        done;
+        (* kill the shard-0 leader mid-load *)
+        let victim = Cluster.leader_of c 0 in
+        Alcotest.(check bool) "shard 0 has a leader" true (victim >= 0);
+        let changes_before = Cluster.leader_changes c in
+        Cluster.crash_node c victim;
+        (* writes continue through the election *)
+        for i = 10 to 19 do
+          Alcotest.(check bool)
+            (Printf.sprintf "put %d acked through failover" i)
+            true
+            (Client.put client (key i) (string_of_int i) = `Ok)
+        done;
+        (* a new leader took over the victim's shard; the healed victim
+           may legitimately win leadership back later, so the evidence
+           of the move is the election counter, not the current holder *)
+        Alcotest.(check bool) "shard 0 re-elected" true
+          (Cluster.leader_of c 0 >= 0);
+        Alcotest.(check bool) "leadership moved" true
+          (Cluster.leader_changes c > changes_before);
+        (* no acked write was lost; reads are linearizable *)
+        for i = 0 to 19 do
+          Alcotest.(check bool)
+            (Printf.sprintf "read %d survives the crash" i)
+            true
+            (Client.get client (key i) = `Found (string_of_int i))
+        done;
+        (* the supervisor healed the node *)
+        Fiber.sleep 800_000;
+        Alcotest.(check bool) "supervisor restarted the node" true
+          (Cluster.restarts c >= 1);
+        Alcotest.(check bool) "victim is back up" true
+          (Cluster.node_up c victim);
+        Cluster.stop c)
+  in
+  ()
+
+let test_membership_events_published () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 () in
+        let hub = Notify.start () in
+        let c =
+          Cluster.create ~notify:hub ~nshards:2 ~replication:3 ~seed:7
+            ~nnodes:3 net
+        in
+        let events = Notify.subscribe hub in
+        Cluster.start c;
+        Fiber.sleep 800_000;
+        Cluster.crash_node c (List.hd (Cluster.addrs c));
+        Fiber.sleep 800_000;
+        let seen = Hashtbl.create 8 in
+        let rec drain () =
+          match Chorus.Chan.try_recv events with
+          | Some (Notify.Custom s) ->
+            Hashtbl.replace seen s ();
+            drain ()
+          | Some _ -> drain ()
+          | None -> ()
+        in
+        drain ();
+        let saw prefix =
+          Hashtbl.fold
+            (fun k () acc ->
+              acc
+              || String.length k >= String.length prefix
+                 && String.sub k 0 (String.length prefix) = prefix)
+            seen false
+        in
+        Alcotest.(check bool) "node up events" true (saw "cluster:node");
+        Alcotest.(check bool) "down event for node 0" true
+          (Hashtbl.mem seen "cluster:node0:down");
+        Alcotest.(check bool) "leader announcements" true
+          (saw "cluster:shard");
+        Cluster.stop c)
+  in
+  ()
+
+let test_availability_under_loss_and_crashes () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let _, c, client =
+          mk_cluster ~loss:0.01 ~nnodes:5 ~nshards:8 ~seed:11 ()
+        in
+        Fiber.sleep 1_000_000;
+        let acked = ref [] in
+        let key i = Printf.sprintf "k%04d" i in
+        for i = 0 to 149 do
+          (* rolling crash injection: one node at a time, round robin *)
+          if i mod 50 = 25 then begin
+            let victims = Cluster.addrs c in
+            let v = List.nth victims (i / 50 mod List.length victims) in
+            Cluster.crash_node c v
+          end;
+          match Client.put client (key i) (string_of_int i) with
+          | `Ok -> acked := i :: !acked
+          | `Unavailable -> ()
+        done;
+        let n_acked = List.length !acked in
+        (* bounded unavailability: elections are fast relative to the
+           client's retry budget, so the vast majority must ack *)
+        Alcotest.(check bool)
+          (Printf.sprintf "most writes acked (%d/150)" n_acked)
+          true (n_acked >= 140);
+        (* every acked write is durable and readable *)
+        Fiber.sleep 1_000_000;
+        List.iter
+          (fun i ->
+            Alcotest.(check bool)
+              (Printf.sprintf "acked %d readable" i)
+              true
+              (Client.get client (key i) = `Found (string_of_int i)))
+          !acked;
+        Alcotest.(check bool) "crashes detected" true
+          (Cluster.node_crashes c >= 3);
+        Alcotest.(check bool) "supervisor healed nodes" true
+          (Cluster.restarts c >= 3);
+        Cluster.stop c)
+  in
+  ()
+
+(* Two identical runs of a failover-heavy scenario must agree on every
+   observable: op results, elections, virtual time. *)
+let cluster_digest () =
+  let results = Buffer.create 256 in
+  let stats =
+    run ~seed:33 (fun () ->
+        let _, c, client =
+          mk_cluster ~loss:0.02 ~nnodes:3 ~nshards:4 ~seed:13 ()
+        in
+        Fiber.sleep 800_000;
+        for i = 0 to 39 do
+          if i = 20 then Cluster.crash_node c (Cluster.leader_of c 0);
+          let k = Printf.sprintf "d%d" i in
+          (match Client.put client k (string_of_int i) with
+          | `Ok -> Buffer.add_string results "A"
+          | `Unavailable -> Buffer.add_string results "U");
+          match Client.get client k with
+          | `Found v -> Buffer.add_string results ("=" ^ v ^ ";")
+          | `Miss -> Buffer.add_string results "M;"
+          | `Unavailable -> Buffer.add_string results "u;"
+        done;
+        Buffer.add_string results
+          (Printf.sprintf "|elections=%d|changes=%d|t=%d"
+             (Cluster.elections_started c)
+             (Cluster.leader_changes c)
+             (Fiber.now ()));
+        Cluster.stop c)
+  in
+  Buffer.add_string results
+    (Printf.sprintf "|makespan=%d|msgs=%d|retries=%d" stats.Runstats.makespan
+       stats.Runstats.msgs stats.Runstats.retries);
+  Buffer.contents results
+
+let test_same_seed_byte_identical () =
+  let a = cluster_digest () in
+  let b = cluster_digest () in
+  Alcotest.(check string) "same seed, same history" a b
+
+let test_runstats_counts_retries () =
+  (* loss forces retransmissions, and they surface in Runstats *)
+  let stats =
+    run (fun () ->
+        let net = Fabric.create ~latency:2_000 ~loss:0.3 ~seed:9 () in
+        let a = Stack.create net (Fabric.attach net ()) in
+        let b = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve b ~port:50 (fun ~src:_ req -> "re:" ^ req)));
+        for i = 1 to 20 do
+          ignore
+            (Stack.call a ~dst:(Stack.addr b) ~port:50 ~timeout:20_000
+               (Printf.sprintf "m%d" i))
+        done)
+  in
+  Alcotest.(check bool) "retries counted in runstats" true
+    (stats.Runstats.retries > 0);
+  let clean =
+    run (fun () ->
+        let net = Fabric.create ~latency:2_000 () in
+        let a = Stack.create net (Fabric.attach net ()) in
+        let b = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve b ~port:50 (fun ~src:_ req -> "re:" ^ req)));
+        for i = 1 to 20 do
+          ignore
+            (Stack.call a ~dst:(Stack.addr b) ~port:50
+               (Printf.sprintf "m%d" i))
+        done)
+  in
+  Alcotest.(check int) "no loss, no retries" 0 clean.Runstats.retries
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cluster"
+    [ ( "shardmap",
+        [ Alcotest.test_case "pure function of nodes" `Quick
+            test_shardmap_pure;
+          Alcotest.test_case "wire roundtrip" `Quick test_shardmap_roundtrip;
+          Alcotest.test_case "garbage decode" `Quick
+            test_shardmap_decode_garbage;
+          Alcotest.test_case "spread over nodes" `Quick test_shardmap_spread
+        ] );
+      ( "cluster",
+        [ Alcotest.test_case "cold-start election" `Quick
+            test_cold_start_election;
+          Alcotest.test_case "leader crash: acked writes survive" `Quick
+            test_leader_crash_durability;
+          Alcotest.test_case "membership events published" `Quick
+            test_membership_events_published;
+          Alcotest.test_case "availability under loss + crashes" `Slow
+            test_availability_under_loss_and_crashes
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "same seed, byte-identical run" `Slow
+            test_same_seed_byte_identical;
+          Alcotest.test_case "runstats retries" `Quick
+            test_runstats_counts_retries
+        ] )
+    ]

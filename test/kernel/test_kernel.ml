@@ -712,6 +712,79 @@ let test_supervisor_one_for_all () =
   in
   ()
 
+let test_supervisor_escalation_kills_siblings () =
+  (* a child exceeding max_restarts within the window escalates: the
+     supervisor gives up, and healthy siblings are killed too *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let sibling = ref None in
+        let good =
+          { Supervisor.cname = "good";
+            cstart =
+              (fun () ->
+                let f =
+                  Fiber.spawn ~label:"good" ~daemon:true (fun () ->
+                      Fiber.sleep 1_000_000_000)
+                in
+                sibling := Some f;
+                f) }
+        in
+        let bad =
+          { Supervisor.cname = "bad";
+            cstart =
+              (fun () ->
+                Fiber.spawn ~label:"bad" ~daemon:true (fun () ->
+                    Fiber.sleep 1_000;
+                    failwith "always")) }
+        in
+        let sup =
+          Supervisor.start ~max_restarts:2 ~window:10_000_000
+            Supervisor.One_for_one [ good; bad ]
+        in
+        Fiber.sleep 5_000_000;
+        Alcotest.(check bool) "escalated" true (Supervisor.gave_up sup);
+        Alcotest.(check bool) "bounded restarts" true
+          (Supervisor.restarts sup <= 2);
+        Alcotest.(check bool) "only the bad child was restarted" true
+          (List.for_all (fun (_, n) -> n = "bad") (Supervisor.restart_log sup));
+        (match !sibling with
+        | None -> Alcotest.fail "good child never started"
+        | Some f ->
+          Alcotest.(check bool) "healthy sibling killed on escalation"
+            false (Fiber.alive f)))
+  in
+  ()
+
+let test_supervisor_window_prunes_old_crashes () =
+  (* crashes spaced wider than the window never escalate: the restart
+     intensity only counts crashes inside the sliding window *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let bad =
+          { Supervisor.cname = "slow-crasher";
+            cstart =
+              (fun () ->
+                Fiber.spawn ~label:"slow-crasher" ~daemon:true (fun () ->
+                    Fiber.sleep 200_000;
+                    failwith "periodic")) }
+        in
+        let sup =
+          Supervisor.start ~max_restarts:2 ~window:100_000
+            Supervisor.One_for_one [ bad ]
+        in
+        Fiber.sleep 3_000_000;
+        let escalated = Supervisor.gave_up sup in
+        let restarts = Supervisor.restarts sup in
+        (* quiesce before the run ends: the crash/restart cycle would
+           otherwise generate events forever *)
+        Supervisor.stop sup;
+        Alcotest.(check bool) "never escalates" false escalated;
+        Alcotest.(check bool)
+          (Printf.sprintf "keeps restarting (%d)" restarts)
+          true (restarts > 2))
+  in
+  ()
+
 let test_sensors_publish () =
   let (_ : Runstats.t) =
     run (fun () ->
@@ -870,7 +943,11 @@ let () =
       ( "supervisor",
         [ Alcotest.test_case "restart on crash" `Quick test_supervisor_restart;
           Alcotest.test_case "gives up" `Quick test_supervisor_gives_up;
-          Alcotest.test_case "one_for_all" `Quick test_supervisor_one_for_all ] );
+          Alcotest.test_case "one_for_all" `Quick test_supervisor_one_for_all;
+          Alcotest.test_case "escalation kills siblings" `Quick
+            test_supervisor_escalation_kills_siblings;
+          Alcotest.test_case "window prunes old crashes" `Quick
+            test_supervisor_window_prunes_old_crashes ] );
       ( "sensors",
         [ Alcotest.test_case "publishes" `Quick test_sensors_publish;
           Alcotest.test_case "stop" `Quick test_sensors_stop ] );

@@ -75,6 +75,56 @@ let test_fabric_loses_frames () =
   in
   ()
 
+(* Loss accounting: every transmitted frame must be accounted as
+   either delivered or dropped once the drivers drain — under loss,
+   under zero loss, and identically across same-seed runs. *)
+
+let loss_counts ~loss ~seed ~frames =
+  let counts = ref (0, 0, 0) in
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~loss ~seed () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        for i = 1 to frames do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "x" }
+        done;
+        Fiber.sleep 5_000_000;
+        counts :=
+          ( Fabric.frames_sent net,
+            Fabric.frames_delivered net,
+            Fabric.frames_dropped net ))
+  in
+  !counts
+
+let test_fabric_loss_accounting () =
+  let sent, delivered, dropped = loss_counts ~loss:0.2 ~seed:11 ~frames:500 in
+  Alcotest.(check int) "all frames entered the fabric" 500 sent;
+  Alcotest.(check int)
+    (Printf.sprintf "sent = delivered + dropped (%d = %d + %d)" sent
+       delivered dropped)
+    sent (delivered + dropped);
+  (* statistical sanity at 20% configured loss over 500 frames *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dropped near expectation (%d)" dropped)
+    true
+    (dropped > 50 && dropped < 160)
+
+let test_fabric_zero_loss_invariant () =
+  let sent, delivered, dropped = loss_counts ~loss:0.0 ~seed:11 ~frames:300 in
+  Alcotest.(check int) "sent" 300 sent;
+  Alcotest.(check int) "nothing dropped" 0 dropped;
+  Alcotest.(check int) "everything delivered" 300 delivered
+
+let test_fabric_loss_deterministic () =
+  let a = loss_counts ~loss:0.1 ~seed:17 ~frames:400 in
+  let b = loss_counts ~loss:0.1 ~seed:17 ~frames:400 in
+  let sa, da, xa = a and sb, db, xb = b in
+  Alcotest.(check int) "sent agree" sa sb;
+  Alcotest.(check int) "delivered agree" da db;
+  Alcotest.(check int) "dropped agree" xa xb
+
 let test_fabric_unknown_dst_dropped () =
   let (_ : Runstats.t) =
     run (fun () ->
@@ -217,6 +267,16 @@ let test_concurrent_calls_not_crossed () =
 (* ------------------------------------------------------------------ *)
 (* Netkv                                                               *)
 
+let get_result : [ `Ok of string option | `Net_fail ] Alcotest.testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | `Net_fail -> Format.fprintf ppf "`Net_fail"
+      | `Ok None -> Format.fprintf ppf "`Ok None"
+      | `Ok (Some v) -> Format.fprintf ppf "`Ok (Some %S)" v)
+    ( = )
+
+let check_get msg expected actual = Alcotest.check get_result msg expected actual
+
 let test_kv_basic () =
   let (_ : Runstats.t) =
     run (fun () ->
@@ -226,13 +286,10 @@ let test_kv_basic () =
         let server = Netkv.start_server s ~port:100 in
         let kv = Netkv.client c ~server_addr:(Stack.addr s) ~port:100 in
         Alcotest.(check bool) "put" true (Netkv.put kv "k1" "v1");
-        Alcotest.(check (option (option string))) "get hit"
-          (Some (Some "v1")) (Netkv.get kv "k1");
-        Alcotest.(check (option (option string))) "get miss" (Some None)
-          (Netkv.get kv "nope");
+        check_get "get hit" (`Ok (Some "v1")) (Netkv.get kv "k1");
+        check_get "get miss" (`Ok None) (Netkv.get kv "nope");
         Alcotest.(check bool) "overwrite" true (Netkv.put kv "k1" "v2");
-        Alcotest.(check (option (option string))) "updated" (Some (Some "v2"))
-          (Netkv.get kv "k1");
+        check_get "updated" (`Ok (Some "v2")) (Netkv.get kv "k1");
         Alcotest.(check int) "server counted" 2 (Netkv.puts_served server))
   in
   ()
@@ -264,8 +321,7 @@ let test_kv_replication () =
           Netkv.client client_stack ~server_addr:(Stack.addr backup_stack)
             ~port:100
         in
-        Alcotest.(check (option (option string))) "replica read"
-          (Some (Some "7")) (Netkv.get kv_b "k7"))
+        check_get "replica read" (`Ok (Some "7")) (Netkv.get kv_b "k7"))
   in
   ()
 
@@ -307,6 +363,12 @@ let () =
           Alcotest.test_case "loss" `Quick test_fabric_loses_frames;
           Alcotest.test_case "unknown dst" `Quick
             test_fabric_unknown_dst_dropped;
+          Alcotest.test_case "loss accounting" `Quick
+            test_fabric_loss_accounting;
+          Alcotest.test_case "zero-loss invariant" `Quick
+            test_fabric_zero_loss_invariant;
+          Alcotest.test_case "loss deterministic" `Quick
+            test_fabric_loss_deterministic;
           QCheck_alcotest.to_alcotest
             prop_lossless_fabric_delivers_everything ] );
       ( "stack",
