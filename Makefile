@@ -1,4 +1,4 @@
-.PHONY: all build test fmt ci bench
+.PHONY: all build test fmt doc lint-loops ci bench
 
 all: build
 
@@ -17,7 +17,35 @@ fmt:
 		echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+doc:
+	dune build @doc
+
+# Service loops belong on lib/svc: a hand-rolled `Chan.recv` request
+# loop in the service layers bypasses the uniform overload policies
+# and queue metrics.  Allowlisted files hold the loops that are not
+# request/reply services: the fabric's wire and NIC delivery loops,
+# the stack's frame demux fibers, the supervisor's restart
+# control-plane, and the cluster node's park channel.
+LINT_LOOP_DIRS := lib/kernel lib/net lib/cluster lib/obs lib/fsspec
+LINT_LOOP_ALLOW := \
+	lib/kernel/supervisor.ml \
+	lib/net/fabric.ml \
+	lib/net/stack.ml \
+	lib/cluster/cluster.ml
+
+lint-loops:
+	@bad=$$(grep -rn --include='*.ml' 'Chan\.recv\b' $(LINT_LOOP_DIRS) \
+		| grep -v $(foreach f,$(LINT_LOOP_ALLOW),-e '^$(f):') || true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-loops: hand-rolled Chan.recv service loop outside lib/svc:"; \
+		echo "$$bad"; \
+		echo "port it to Svc.serve / Svc.serve_cast, or allowlist it in the Makefile"; \
+		exit 1; \
+	else \
+		echo "lint-loops: OK"; \
+	fi
+
 bench:
 	dune exec bench/main.exe
 
-ci: build test fmt
+ci: build test fmt doc lint-loops

@@ -297,13 +297,66 @@ let write_cluster_json file =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* Part 5: service-plane overload macro-benchmark                      *)
+
+(* Goodput and tail latency for each overload policy as offered load
+   sweeps past the service rate, in virtual cycles.  Reuses the E21
+   driver. *)
+let write_overload_json file =
+  let module E21 = Chorus_experiments.E21_overload in
+  print_endline "\n=====================================================";
+  print_endline " Service plane: overload policies (virtual)";
+  print_endline "=====================================================\n";
+  let rows =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun load_pct ->
+            let s = E21.measure ~quick:true ~seed:42 ~policy ~load_pct in
+            Printf.printf
+              "%-12s %3d%%  completed %d/%d  busy %d  p99 %d  \
+               goodput/Mcyc %.1f\n"
+              s.E21.policy_name load_pct s.E21.completed s.E21.sent
+              s.E21.busy s.E21.p99 s.E21.goodput;
+            s)
+          [ 50; 100; 200 ])
+      [ `Block; `Reject; `Shed_oldest ]
+  in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-overload-v1\",\n";
+  Buffer.add_string b "  \"seed\": 42,\n";
+  Buffer.add_string b "  \"postures\": [";
+  List.iteri
+    (fun i (s : Chorus_experiments.E21_overload.sample) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"policy\": \"%s\", \"load_pct\": %d, \"sent\": %d, \
+            \"completed\": %d, \"busy\": %d, \"rejected\": %d, \
+            \"shed\": %d, \"queue_hwm\": %d, \"p50_cycles\": %d, \
+            \"p99_cycles\": %d, \"goodput_per_mcycle\": %.2f }"
+           s.policy_name s.load_pct s.sent s.completed s.busy s.rejected
+           s.shed s.hwm s.p50 s.p99 s.goodput))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv in
-  let tables = not (List.mem "--bechamel-only" args) in
-  let bech = not (List.mem "--tables-only" args) in
-  if tables then run_tables ();
-  if bech then begin
-    let rows = run_bechamel () in
-    write_json "BENCH_obs.json" rows;
-    write_cluster_json "BENCH_cluster.json"
+  if List.mem "--overload-only" args then
+    write_overload_json "BENCH_overload.json"
+  else begin
+    let tables = not (List.mem "--bechamel-only" args) in
+    let bech = not (List.mem "--tables-only" args) in
+    if tables then run_tables ();
+    if bech then begin
+      let rows = run_bechamel () in
+      write_json "BENCH_obs.json" rows;
+      write_cluster_json "BENCH_cluster.json";
+      write_overload_json "BENCH_overload.json"
+    end
   end

@@ -4,6 +4,7 @@ module Stack = Chorus_net.Stack
 module Rng = Chorus_util.Rng
 module Metrics = Chorus_obs.Metrics
 module Span = Chorus_obs.Span
+module Svc = Chorus_svc.Svc
 
 type config = {
   heartbeat : int;
@@ -58,8 +59,12 @@ type t = {
   mutable last_heartbeat : int;
   next_idx : int array;  (* per peer position *)
   match_idx : int array;
-  mutable kicks : wait_result Chan.t list;
-      (* one per replicator fiber; pinged on new proposals *)
+  mutable kicks : wait_result Svc.cast list;
+      (* one per replicator fiber; pinged on new proposals.  Each is a
+         capacity-1 `Reject endpoint: a kick that finds the slot full
+         is redundant by construction and is dropped, exactly the old
+         try_send-on-buffered-1 behaviour, but now visible in the
+         uniform rejected counter. *)
   waiters : (int, int * wait_result Chan.t) Hashtbl.t;
       (* log index -> (expected term, reply channel) *)
   mutable lineage : int;
@@ -362,11 +367,15 @@ let handle_rpc t ~src ~op r =
 (* Leader side: replicator fibers                                      *)
 
 let kick_replicators t =
-  List.iter (fun k -> ignore (Chan.try_send k (`Applied ""))) t.kicks
+  List.iter (fun k -> Svc.cast k (`Applied "")) t.kicks
 
 let replicator t ~lineage ~my_term ~peer_pos =
   let peer = t.peers.(peer_pos) in
-  let kick = Chan.buffered 1 in
+  let kick =
+    Svc.cast_create
+      ~config:(Svc.config ~capacity:1 ~policy:`Reject ())
+      ~subsystem:"cluster" ~metric_name:"kick" ~label:"raft-kick" ()
+  in
   t.kicks <- kick :: t.kicks;
   let live () =
     t.role = Leader && t.term = my_term && t.lineage = lineage
@@ -414,7 +423,7 @@ let replicator t ~lineage ~my_term ~peer_pos =
       if live () && t.next_idx.(peer_pos) > t.log_len then
         ignore
           (Chan.choose
-             [ Chan.recv_case kick (fun _ -> ());
+             [ Svc.recv_case kick (fun _ -> ());
                Chan.after t.cfg.heartbeat (fun () -> ()) ]);
       loop ()
     end

@@ -100,7 +100,13 @@ let all =
       claim =
         "structurally similar to a client/server network application; \
          aim for not failing (S1/S5)";
-      run = E20_cluster.run } ]
+      run = E20_cluster.run };
+    { id = "e21";
+      title = "Overload policies at the service plane";
+      claim =
+        "servers are queues; past saturation something must give: \
+         block backpressures, reject and shed protect latency (S3/S5)";
+      run = E21_overload.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

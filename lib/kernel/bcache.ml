@@ -1,9 +1,7 @@
 module Fiber = Chorus.Fiber
-module Chan = Chorus.Chan
-module Rpc = Chorus.Rpc
 module Fsspec = Chorus_fsspec.Fsspec
 module Metrics = Chorus_obs.Metrics
-module Span = Chorus_obs.Span
+module Svc = Chorus_svc.Svc
 
 type req =
   | Get of int
@@ -23,15 +21,17 @@ type shard_state = {
 and buf = { mutable data : bytes; mutable dirty : bool; mutable last_use : int }
 
 type t = {
-  eps : (req, resp) Rpc.endpoint array;
+  eps : (req, resp) Svc.t array;
   mutable hits : int;
   mutable misses : int;
-  req_h : Metrics.histogram;  (** per-request service time *)
-  queue_g : Metrics.gauge;  (** shard request-queue depth *)
   miss_c : Metrics.counter;
 }
 
-let block_words = Fsspec.block_size / 8
+(* reply payload sized by what actually crosses the interconnect: the
+   requested bytes for reads, a bare ack otherwise *)
+let words_of_resp = function
+  | Data s -> 2 + ((String.length s + 7) / 8)
+  | Done -> 2
 
 let lookup t st dev block =
   st.tick <- st.tick + 1;
@@ -63,88 +63,73 @@ let lookup t st dev block =
     Hashtbl.replace st.bufs block b;
     b
 
-let serve_shard t st dev ep =
-  let rec loop () =
-    let req, reply = Chan.recv ep in
-    Metrics.observe t.queue_g (Chan.length ep);
-    Span.timed ~subsystem:"bcache" ~name:"request" t.req_h (fun () ->
-    match req with
-    | Get block ->
-      let b = lookup t st dev block in
-      Chan.send ~words:(2 + block_words) reply
-        (Data (Bytes.to_string b.data))
-    | Get_range { block; off; len } ->
-      let b = lookup t st dev block in
-      let len = max 0 (min len (Bytes.length b.data - off)) in
-      Chan.send
-        ~words:(2 + ((len + 7) / 8))
-        reply
-        (Data (Bytes.sub_string b.data off len))
-    | Put { block; off; data } ->
-      let b = lookup t st dev block in
-      Bytes.blit_string data 0 b.data off (String.length data);
-      b.dirty <- true;
-      Chan.send reply Done
-    | Zero block ->
-      st.tick <- st.tick + 1;
-      Hashtbl.replace st.bufs block
-        { data = Bytes.make Fsspec.block_size '\000'; dirty = true;
-          last_use = st.tick };
-      Chan.send reply Done
-    | Flush ->
-      Hashtbl.iter
-        (fun blk b ->
-          if b.dirty then begin
-            Blockdev.write dev blk b.data;
-            b.dirty <- false
-          end)
-        st.bufs;
-      Chan.send reply Done);
-    loop ()
-  in
-  loop ()
+let handle t st dev = function
+  | Get block ->
+    let b = lookup t st dev block in
+    Data (Bytes.to_string b.data)
+  | Get_range { block; off; len } ->
+    let b = lookup t st dev block in
+    let len = max 0 (min len (Bytes.length b.data - off)) in
+    Data (Bytes.sub_string b.data off len)
+  | Put { block; off; data } ->
+    let b = lookup t st dev block in
+    Bytes.blit_string data 0 b.data off (String.length data);
+    b.dirty <- true;
+    Done
+  | Zero block ->
+    st.tick <- st.tick + 1;
+    Hashtbl.replace st.bufs block
+      { data = Bytes.make Fsspec.block_size '\000'; dirty = true;
+        last_use = st.tick };
+    Done
+  | Flush ->
+    Hashtbl.iter
+      (fun blk b ->
+        if b.dirty then begin
+          Blockdev.write dev blk b.data;
+          b.dirty <- false
+        end)
+      st.bufs;
+    Done
 
-let start ?(shards = 8) ?(capacity = 1024) ?(spread = true) ~dev () =
+let start ?(shards = 8) ?(capacity = 1024) ?(spread = true) ?config ~dev () =
   let t =
     { eps =
         Array.init shards (fun i ->
-            Rpc.endpoint ~label:(Printf.sprintf "bcache-%d" i) ());
+            Svc.create ?config ~subsystem:"bcache"
+              ~label:(Printf.sprintf "bcache-%d" i) ());
       hits = 0;
       misses = 0;
-      req_h = Metrics.histogram ~subsystem:"bcache" "request";
-      queue_g = Metrics.gauge ~subsystem:"bcache" "queue_depth";
       miss_c = Metrics.counter ~subsystem:"bcache" "misses" }
   in
-  Array.iteri
-    (fun i ep ->
+  Array.iter
+    (fun ep ->
       let st =
         { bufs = Hashtbl.create 64; capacity = max 1 (capacity / shards);
           tick = 0 }
       in
       let on = if spread then None else Some (Fiber.core (Fiber.self ())) in
-      ignore
-        (Fiber.spawn ?on ~label:(Printf.sprintf "bcache-%d" i) ~daemon:true
-           (fun () -> serve_shard t st dev ep)))
+      ignore (Svc.start ?on ~words_of_resp ep (handle t st dev)))
     t.eps;
   t
 
 let shard_for t block = t.eps.(block mod Array.length t.eps)
 
 let get t block =
-  match Rpc.call ~words:4 (shard_for t block) (Get block) with
+  match Svc.call ~words:4 (shard_for t block) (Get block) with
   | Data d -> d
   | Done -> assert false
 
 let get_range t block ~off ~len =
   match
-    Rpc.call ~words:5 (shard_for t block) (Get_range { block; off; len })
+    Svc.call ~words:5 (shard_for t block) (Get_range { block; off; len })
   with
   | Data d -> d
   | Done -> assert false
 
 let put t block ~off data =
   match
-    Rpc.call
+    Svc.call
       ~words:(4 + ((String.length data + 7) / 8))
       (shard_for t block)
       (Put { block; off; data })
@@ -153,14 +138,14 @@ let put t block ~off data =
   | Data _ -> assert false
 
 let zero t block =
-  match Rpc.call ~words:4 (shard_for t block) (Zero block) with
+  match Svc.call ~words:4 (shard_for t block) (Zero block) with
   | Done -> ()
   | Data _ -> assert false
 
 let flush t =
   Array.iter
     (fun ep ->
-      match Rpc.call ep Flush with Done -> () | Data _ -> assert false)
+      match Svc.call ep Flush with Done -> () | Data _ -> assert false)
     t.eps
 
 let hits t = t.hits

@@ -11,11 +11,11 @@ type t
 
 val start :
   ?shards:int -> ?capacity:int -> ?spread:bool ->
-  dev:Blockdev.t -> unit -> t
+  ?config:Chorus_svc.Svc.config -> dev:Blockdev.t -> unit -> t
 (** [start ~dev ()] spawns the shard fibers (default 8 shards, 1024
     blocks total capacity, LRU per shard, write-back on eviction).
     [spread] places shards on distinct cores via the run's policy when
-    true (default). *)
+    true (default).  [config] bounds each shard's request inbox. *)
 
 val get : t -> int -> string
 (** [get t block] returns the whole block contents (cache fill from

@@ -1,20 +1,18 @@
 module Fiber = Chorus.Fiber
-module Chan = Chorus.Chan
-module Rpc = Chorus.Rpc
 module Diskmodel = Chorus_machine.Diskmodel
 module Fsspec = Chorus_fsspec.Fsspec
+module Svc = Chorus_svc.Svc
 
 type req = Read of int | Write of int * bytes
 
 type resp = Data of bytes | Done
 
 type t = {
-  ep : (req, resp) Rpc.endpoint;
+  ep : (req, resp) Svc.t;
   store : (int, bytes) Hashtbl.t;
   mutable head : int;
   mutable reads : int;
   mutable writes : int;
-  mutable max_queue : int;
   mutable in_body : int;
   mutable max_concurrency : int;
   disk : Diskmodel.t;
@@ -46,40 +44,29 @@ let service t req =
   t.in_body <- t.in_body - 1;
   resp
 
-let start ?(label = "blockdev") ?on ?priority ~disk () =
-  let ep = Rpc.endpoint ~label () in
+let words_of_resp = function
+  | Data _ -> 4 + (Fsspec.block_size / 8)
+  | Done -> 2
+
+let start ?(label = "blockdev") ?on ?priority ?config ~disk () =
+  let ep = Svc.create ?config ~subsystem:"blockdev" ~label () in
   let t =
     { ep; store = Hashtbl.create 256; head = 0; reads = 0; writes = 0;
-      max_queue = 0; in_body = 0; max_concurrency = 0; disk }
+      in_body = 0; max_concurrency = 0; disk }
   in
-  let words_of_resp = function
-    | Data _ -> 4 + (Fsspec.block_size / 8)
-    | Done -> 2
-  in
-  let (_ : Fiber.t) =
-    Fiber.spawn ?on ?priority ~label ~daemon:true (fun () ->
-        let rec loop () =
-          let q = Chan.length t.ep in
-          if q > t.max_queue then t.max_queue <- q;
-          let req, reply = Chan.recv t.ep in
-          let resp = service t req in
-          Chan.send ~words:(words_of_resp resp) reply resp;
-          loop ()
-        in
-        loop ())
-  in
+  let (_ : Fiber.t) = Svc.start ?on ?priority ~words_of_resp ep (service t) in
   t
 
 let words_of_block = Fsspec.block_size / 8
 
 
 let read t block =
-  match Rpc.call ~words:4 t.ep (Read block) with
+  match Svc.call ~words:4 t.ep (Read block) with
   | Data d -> d
   | Done -> assert false
 
 let write t block data =
-  match Rpc.call ~words:(4 + words_of_block) t.ep (Write (block, data)) with
+  match Svc.call ~words:(4 + words_of_block) t.ep (Write (block, data)) with
   | Done -> ()
   | Data _ -> assert false
 
@@ -87,7 +74,7 @@ let reads t = t.reads
 
 let writes t = t.writes
 
-let max_queue t = t.max_queue
+let max_queue t = Svc.hwm t.ep
 
 let max_concurrency t = t.max_concurrency
 

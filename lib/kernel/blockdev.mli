@@ -21,9 +21,11 @@ type t
 
 val start :
   ?label:string -> ?on:int -> ?priority:Chorus.Fiber.priority ->
+  ?config:Chorus_svc.Svc.config ->
   disk:Chorus_machine.Diskmodel.t -> unit -> t
 (** Spawn the driver (a daemon fiber), optionally pinned to a core
-    and/or at interrupt-style [High] priority. *)
+    and/or at interrupt-style [High] priority.  [config] bounds the
+    request inbox (default: unbounded backpressure). *)
 
 val read : t -> int -> bytes
 (** [read t block] round-trips a read request; returns a copy of the
@@ -36,11 +38,12 @@ val reads : t -> int
 val writes : t -> int
 
 val max_queue : t -> int
-(** High-water mark of the request queue, for utilization analysis. *)
+(** High-water mark of the request queue (the endpoint's [queue_hwm]),
+    for utilization analysis. *)
 
 val max_concurrency : t -> int
 (** Requests being serviced simultaneously inside the driver body —
     invariantly 1 for a single-threaded driver; tests assert it. *)
 
-val endpoint : t -> (req, resp) Chorus.Rpc.endpoint
+val endpoint : t -> (req, resp) Chorus_svc.Svc.t
 (** Raw endpoint for callers that pipeline requests themselves. *)

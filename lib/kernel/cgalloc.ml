@@ -1,12 +1,11 @@
-module Fiber = Chorus.Fiber
-module Rpc = Chorus.Rpc
+module Svc = Chorus_svc.Svc
 
 type req = Alloc | Free of int
 
 type resp = Block of int | Empty | Done
 
 type t = {
-  eps : (req, resp) Rpc.endpoint array;
+  eps : (req, resp) Svc.t array;
   per : int;  (** blocks per group (last group may own more) *)
   mutable outstanding : int;
 }
@@ -18,7 +17,7 @@ let serve_group ep ~first ~count =
   for b = first to first + count - 1 do
     Queue.push b free
   done;
-  Rpc.serve ep (fun req ->
+  Svc.serve ep (fun req ->
       match req with
       | Alloc ->
         if Queue.is_empty free then Empty else Block (Queue.pop free)
@@ -26,16 +25,19 @@ let serve_group ep ~first ~count =
         Queue.push b free;
         Done)
 
-let start ?(groups = 8) ~nblocks () =
+let start ?(groups = 8) ?config ~nblocks () =
   if groups < 1 || nblocks < groups then invalid_arg "Cgalloc.start";
   let per = nblocks / groups in
   let eps =
     Array.init groups (fun i ->
-        let ep = Rpc.endpoint ~label:(Printf.sprintf "cg-%d" i) () in
+        let ep =
+          Svc.create ?config ~subsystem:"cgalloc"
+            ~label:(Printf.sprintf "cg-%d" i) ()
+        in
         let first = i * per in
         let count = if i = groups - 1 then nblocks - first else per in
         ignore
-          (Fiber.spawn ~label:(Printf.sprintf "cg-%d" i) ~daemon:true
+          (Chorus.Fiber.spawn ~label:(Printf.sprintf "cg-%d" i) ~daemon:true
              (fun () -> serve_group ep ~first ~count));
         ep)
   in
@@ -49,7 +51,7 @@ let alloc t ~hint =
   let rec try_group i =
     if i >= g then None
     else
-      match Rpc.call t.eps.((start + i) mod g) Alloc with
+      match Svc.call t.eps.((start + i) mod g) Alloc with
       | Block b ->
         t.outstanding <- t.outstanding + 1;
         Some b
@@ -61,7 +63,7 @@ let alloc t ~hint =
 let free t b =
   (* blocks are range-partitioned: return to the home group *)
   let home = min (Array.length t.eps - 1) (b / t.per) in
-  match Rpc.call t.eps.(home) (Free b) with
+  match Svc.call t.eps.(home) (Free b) with
   | Done -> t.outstanding <- t.outstanding - 1
   | Block _ | Empty -> assert false
 

@@ -1,17 +1,24 @@
 (** Console device driver: the second single-fiber driver (after
     {!Blockdev}), showing the pattern generalizes — a serial-ish
     device that emits characters at a fixed rate, driven entirely by
-    its own request loop. *)
+    its own {!Chorus_svc.Svc} request loop. *)
 
 type t
 
-val start : ?on:int -> ?cycles_per_char:int -> unit -> t
-(** Default 2000 cycles/char (a ~1 MB/s console at 2 GHz). *)
+val start :
+  ?on:int -> ?cycles_per_char:int -> ?config:Chorus_svc.Svc.config ->
+  unit -> t
+(** Default 2000 cycles/char (a ~1 MB/s console at 2 GHz).  [config]
+    bounds the request inbox (default: unbounded backpressure). *)
 
 val write_line : t -> string -> unit
-(** Blocks the caller until the device has emitted the line. *)
+(** Blocks the caller until the device has emitted the line.  Raises
+    {!Chorus_svc.Svc.Busy} under a rejecting overload policy. *)
 
 val output : t -> string list
 (** Everything written so far, oldest first (test oracle). *)
 
 val lines_written : t -> int
+
+val endpoint : t -> (string, unit) Chorus_svc.Svc.t
+(** The underlying service endpoint (queue metrics live here). *)

@@ -1,9 +1,9 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
-module Rpc = Chorus.Rpc
 module Fsspec = Chorus_fsspec.Fsspec
 module Metrics = Chorus_obs.Metrics
 module Span = Chorus_obs.Span
+module Svc = Chorus_svc.Svc
 
 type config = { plumbing : bool; dispatchers : int }
 
@@ -35,19 +35,17 @@ and vresp =
   | Done
   | Err of Fsspec.err
 
-and vnode = (vreq, vresp) Rpc.endpoint
+and vnode = (vreq, vresp) Svc.t
 
 type sys = {
   cfg : config;
+  svc_cfg : Svc.config option;
   bcache : Bcache.t;
   alloc : Cgalloc.t;
   root : vnode;
-  disp : (sc, scresp) Rpc.endpoint array;
+  disp : (sc, scresp) Svc.t array;
   mutable spawned : int;
   mutable live : int;
-  dir_queue : Metrics.gauge;
-      (** request-queue depth observed by directory vnodes *)
-  disp_queue : Metrics.gauge;  (** ditto for dispatcher fibers *)
 }
 
 and sc =
@@ -148,9 +146,10 @@ let rec ensure_block sys ~hint blocks bidx =
 let serve_file sys ep ~hint =
   let blocks = ref [] in
   let size = ref 0 in
-  let rec loop () =
-    let req, reply = Chan.recv ep in
-    let resp =
+  Svc.serve ~words_of_resp:reply_words
+    ~until:(fun req _ -> match req with Retire -> true | _ -> false)
+    ep
+    (fun req ->
       match req with
       | Getattr -> Attr { akind = Fsspec.File; asize = !size;
                           ablocks = List.length !blocks }
@@ -189,24 +188,18 @@ let serve_file sys ep ~hint =
         sys.live <- sys.live - 1;
         Done
       | Lookup _ | Make _ | Remove _ | Detach _ | Attach _ | Readdir ->
-        Err Fsspec.Enotdir
-    in
-    Chan.send ~words:(reply_words resp) reply resp;
-    match req with
-    | Retire -> Chan.close ep
-    | _ -> loop ()
-  in
-  loop ()
+        Err Fsspec.Enotdir)
 
 (* ------------------------------------------------------------------ *)
 (* Directory vnode                                                     *)
 
 let rec serve_dir sys ep =
   let entries : (string, vnode * Fsspec.kind) Hashtbl.t = Hashtbl.create 8 in
-  let rec loop () =
-    let req, reply = Chan.recv ep in
-    Metrics.observe sys.dir_queue (Chan.length ep);
-    let resp =
+  Svc.serve ~words_of_resp:reply_words
+    ~until:(fun req resp ->
+      match (req, resp) with Retire, Done -> true | _ -> false)
+    ep
+    (fun req ->
       match req with
       | Getattr ->
         Attr { akind = Fsspec.Dir; asize = Hashtbl.length entries;
@@ -243,7 +236,7 @@ let rec serve_dir sys ep =
             match kind with
             | Fsspec.File -> Ok ()
             | Fsspec.Dir -> (
-              match Rpc.call v Getattr with
+              match Svc.call v Getattr with
               | Attr a when a.asize = 0 -> Ok ()
               | Attr _ -> Error Fsspec.Enotempty
               | _ -> Error Fsspec.Einval)
@@ -251,7 +244,7 @@ let rec serve_dir sys ep =
           match empty_ok with
           | Error e -> Err e
           | Ok () -> (
-            match Rpc.call v Retire with
+            match Svc.call v Retire with
             | Done ->
               Hashtbl.remove entries name;
               Done
@@ -265,17 +258,13 @@ let rec serve_dir sys ep =
           sys.live <- sys.live - 1;
           Done
         end
-      | Read _ | Write _ -> Err Fsspec.Eisdir
-    in
-    Chan.send ~words:(reply_words resp) reply resp;
-    match (req, resp) with
-    | Retire, Done -> Chan.close ep
-    | _ -> loop ()
-  in
-  loop ()
+      | Read _ | Write _ -> Err Fsspec.Eisdir)
 
 and spawn_vnode sys kind =
-  let ep = Rpc.endpoint ~label:"vnode" () in
+  let ep =
+    Svc.create ?config:sys.svc_cfg ~subsystem:"msgvfs" ~metric_name:"vnode"
+      ~label:"vnode" ()
+  in
   sys.spawned <- sys.spawned + 1;
   sys.live <- sys.live + 1;
   let hint = sys.spawned in
@@ -302,7 +291,7 @@ let walk sys path =
     let rec go cur kind = function
       | [] -> Ok (cur, kind)
       | name :: rest -> (
-        match Rpc.call cur (Lookup name) with
+        match Svc.call cur (Lookup name) with
         | Child (v, k) -> go v k rest
         | Err e -> Error e
         | _ -> Error Fsspec.Einval)
@@ -324,7 +313,7 @@ let walk_parent sys path =
     let rec go cur = function
       | [] -> Ok (cur, name)
       | n :: rest -> (
-        match Rpc.call cur (Lookup n) with
+        match Svc.call cur (Lookup n) with
         | Child (v, Fsspec.Dir) -> go v rest
         | Child (_, Fsspec.File) -> Error Fsspec.Enotdir
         | Err e -> Error e
@@ -342,7 +331,7 @@ let do_mkdir sys path =
   | Error e -> Error e
   | Ok (dir, name) -> (
     try
-      match Rpc.call dir (Make (name, Fsspec.Dir)) with
+      match Svc.call dir (Make (name, Fsspec.Dir)) with
       | Child _ -> Ok ()
       | Err e -> Error e
       | _ -> Error Fsspec.Einval
@@ -353,7 +342,7 @@ let do_create sys path =
   | Error e -> Error e
   | Ok (dir, name) -> (
     try
-      match Rpc.call dir (Make (name, Fsspec.File)) with
+      match Svc.call dir (Make (name, Fsspec.File)) with
       | Child _ -> Ok ()
       | Err e -> Error e
       | _ -> Error Fsspec.Einval
@@ -367,7 +356,7 @@ let do_open sys path =
 
 let do_read v ~off ~len =
   try
-    match Rpc.call ~words:6 v (Read { off; len }) with
+    match Svc.call ~words:6 v (Read { off; len }) with
     | Data d -> Ok d
     | Err e -> Error e
     | _ -> Error Fsspec.Einval
@@ -375,7 +364,7 @@ let do_read v ~off ~len =
 
 let do_write v ~off data =
   try
-    match Rpc.call ~words:(4 + words_of_string data) v (Write { off; data })
+    match Svc.call ~words:(4 + words_of_string data) v (Write { off; data })
     with
     | Wrote n -> Ok n
     | Err e -> Error e
@@ -387,7 +376,7 @@ let do_stat sys path =
   | Error e -> Error e
   | Ok (v, _) -> (
     try
-      match Rpc.call v Getattr with
+      match Svc.call v Getattr with
       | Attr a -> Ok (stat_of_attr a)
       | Err e -> Error e
       | _ -> Error Fsspec.Einval
@@ -398,7 +387,7 @@ let do_unlink sys path =
   | Error e -> Error e
   | Ok (dir, name) -> (
     try
-      match Rpc.call dir (Remove name) with
+      match Svc.call dir (Remove name) with
       | Done -> Ok ()
       | Err e -> Error e
       | _ -> Error Fsspec.Einval
@@ -421,20 +410,20 @@ let do_rename sys src dst =
       try
         (* source must exist before we resolve the destination (error
            precedence matches the reference model) *)
-        match Rpc.call sdir (Lookup sname) with
+        match Svc.call sdir (Lookup sname) with
         | Err e -> Error e
         | Child _ -> (
           match walk_parent sys dst with
           | Error e -> Error e
           | Ok (ddir, dname) -> (
-            match Rpc.call sdir (Detach sname) with
+            match Svc.call sdir (Detach sname) with
             | Err e -> Error e
             | Child (v, kind) -> (
-              match Rpc.call ddir (Attach (dname, v, kind)) with
+              match Svc.call ddir (Attach (dname, v, kind)) with
               | Done -> Ok ()
               | Err e -> (
                 (* put it back where it came from *)
-                match Rpc.call sdir (Attach (sname, v, kind)) with
+                match Svc.call sdir (Attach (sname, v, kind)) with
                 | Done -> Error e
                 | _ -> Error Fsspec.Einval)
               | _ -> Error Fsspec.Einval)
@@ -447,7 +436,7 @@ let do_readdir sys path =
   | Error e -> Error e
   | Ok (v, _) -> (
     try
-      match Rpc.call v Readdir with
+      match Svc.call v Readdir with
       | Names ns -> Ok ns
       | Err e -> Error e
       | _ -> Error Fsspec.Einval
@@ -457,8 +446,7 @@ let do_readdir sys path =
 (* Dispatchers (conservative, non-plumbed syscall entry)               *)
 
 let serve_dispatcher sys ep =
-  Rpc.serve ep (fun sc ->
-      Metrics.observe sys.disp_queue (Chan.length ep);
+  Svc.serve ep (fun sc ->
       match sc with
       | Sc_mkdir p -> R_unit (do_mkdir sys p)
       | Sc_create p -> R_unit (do_create sys p)
@@ -472,17 +460,20 @@ let serve_dispatcher sys ep =
 
 (* ------------------------------------------------------------------ *)
 
-let mount cfg ~bcache ~alloc =
-  let root = Rpc.endpoint ~label:"root-vnode" () in
+let mount ?svc cfg ~bcache ~alloc =
+  let root =
+    Svc.create ?config:svc ~subsystem:"msgvfs" ~metric_name:"vnode"
+      ~label:"root-vnode" ()
+  in
   let disp =
     Array.init
       (if cfg.plumbing then 0 else max 1 cfg.dispatchers)
-      (fun i -> Rpc.endpoint ~label:(Printf.sprintf "syscall-%d" i) ())
+      (fun i ->
+        Svc.create ?config:svc ~subsystem:"msgvfs" ~metric_name:"dispatcher"
+          ~label:(Printf.sprintf "syscall-%d" i) ())
   in
   let sys =
-    { cfg; bcache; alloc; root; disp; spawned = 1; live = 1;
-      dir_queue = Metrics.gauge ~subsystem:"msgvfs" "dir_queue_depth";
-      disp_queue = Metrics.gauge ~subsystem:"msgvfs" "dispatcher_queue_depth" }
+    { cfg; svc_cfg = svc; bcache; alloc; root; disp; spawned = 1; live = 1 }
   in
   ignore
     (Fiber.spawn ~label:"root-vnode" ~daemon:true (fun () ->
@@ -510,7 +501,7 @@ let pick_disp t =
   t.next_disp <- (i + 1) mod Array.length d;
   d.(i mod Array.length d)
 
-let via_disp t sc = Rpc.call (pick_disp t) sc
+let via_disp t sc = Svc.call (pick_disp t) sc
 
 let plumbed t = t.sys.cfg.plumbing
 

@@ -40,8 +40,12 @@ val default_config : config
 
 type sys
 
-val mount : config -> bcache:Bcache.t -> alloc:Cgalloc.t -> sys
-(** Spawn the root directory vnode (and dispatchers). *)
+val mount :
+  ?svc:Chorus_svc.Svc.config -> config -> bcache:Bcache.t ->
+  alloc:Cgalloc.t -> sys
+(** Spawn the root directory vnode (and dispatchers).  [svc] bounds
+    the inbox of every vnode and dispatcher spawned under the mount
+    (default: unbounded backpressure, the legacy behaviour). *)
 
 type t
 

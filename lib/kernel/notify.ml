@@ -1,6 +1,7 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
 module Metrics = Chorus_obs.Metrics
+module Svc = Chorus_svc.Svc
 
 type event =
   | Thermal of int
@@ -15,27 +16,25 @@ type msg =
   | Subscribe of (event -> bool) * event Chan.t
 
 type t = {
-  inbox : msg Chan.t;
+  inbox : msg Svc.cast;
   mutable published : int;
   mutable delivered : int;
   published_c : Metrics.counter;
   delivered_c : Metrics.counter;
-  inbox_g : Metrics.gauge;
 }
 
-let start ?on () =
-  let t = { inbox = Chan.unbounded ~label:"notify" (); published = 0;
-            delivered = 0;
+let start ?on ?config () =
+  let t = { inbox = Svc.cast_create ?config ~subsystem:"notify"
+                      ~label:"notify" ();
+            published = 0; delivered = 0;
             published_c = Metrics.counter ~subsystem:"notify" "published";
-            delivered_c = Metrics.counter ~subsystem:"notify" "delivered";
-            inbox_g = Metrics.gauge ~subsystem:"notify" "inbox_depth" } in
+            delivered_c = Metrics.counter ~subsystem:"notify" "delivered" } in
   let subscribers : ((event -> bool) * event Chan.t) list ref = ref [] in
+  (* the hub fiber keeps its historical label, distinct from the
+     endpoint's channel label *)
   ignore
     (Fiber.spawn ?on ~label:"notify-hub" ~daemon:true (fun () ->
-         let rec loop () =
-           let msg = Chan.recv t.inbox in
-           Metrics.observe t.inbox_g (Chan.length t.inbox);
-           (match msg with
+         Svc.serve_cast t.inbox (function
            | Subscribe (filter, ch) ->
              subscribers := (filter, ch) :: !subscribers
            | Publish ev ->
@@ -53,21 +52,20 @@ let start ?on () =
                      end;
                      true
                    end)
-                 !subscribers);
-           loop ()
-         in
-         loop ()));
+                 !subscribers)));
   t
 
 let subscribe_filtered t filter =
   let ch = Chan.unbounded ~label:"notify-sub" () in
-  Chan.send t.inbox (Subscribe (filter, ch));
+  Svc.cast t.inbox (Subscribe (filter, ch));
   ch
 
 let subscribe t = subscribe_filtered t (fun _ -> true)
 
-let publish t ev = Chan.send ~words:4 t.inbox (Publish ev)
+let publish t ev = Svc.cast ~words:4 t.inbox (Publish ev)
 
 let published t = t.published
 
 let delivered t = t.delivered
+
+let inbox t = t.inbox

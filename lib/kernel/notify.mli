@@ -19,10 +19,14 @@ type event =
   | App_exit of { pid : int; ok : bool }
   | Custom of string
 
+type msg
+
 type t
 
-val start : ?on:int -> unit -> t
-(** Spawn the notification hub fiber. *)
+val start : ?on:int -> ?config:Chorus_svc.Svc.config -> unit -> t
+(** Spawn the notification hub fiber.  [config] bounds the hub inbox;
+    under [`Shed_oldest] bursty publishers lose the stalest pending
+    event instead of growing the queue. *)
 
 val subscribe : t -> event Chorus.Chan.t
 (** Returns a fresh unbounded channel on which every subsequent
@@ -38,3 +42,6 @@ val published : t -> int
 
 val delivered : t -> int
 (** Total subscriber deliveries (published x matching subscribers). *)
+
+val inbox : t -> msg Chorus_svc.Svc.cast
+(** The hub's service endpoint (uniform queue metrics live here). *)

@@ -6,9 +6,11 @@
     anything — a shell, a supervisor, an init — can watch for them the
     message-channel way. *)
 
+type preq
+
 type t
 
-val start : notify:Notify.t -> unit -> t
+val start : ?config:Chorus_svc.Svc.config -> notify:Notify.t -> unit -> t
 
 val spawn_app :
   t -> ?on:int -> label:string -> (pid:int -> unit) -> int
@@ -22,3 +24,6 @@ val wait : t -> int -> bool
 val running : t -> int
 
 val spawned : t -> int
+
+val inbox : t -> preq Chorus_svc.Svc.cast
+(** The table's service endpoint (uniform queue metrics live here). *)

@@ -27,27 +27,22 @@ let temp_at cfg i =
 
 let start ?(config = default_config) notify =
   let t = { taken = 0; fiber = None } in
-  let body () =
-    let rec loop i =
-      if config.samples > 0 && i >= config.samples then ()
-      else begin
-        Fiber.sleep config.period;
-        t.taken <- t.taken + 1;
-        Notify.publish notify (Notify.Thermal (temp_at config i));
-        if config.power_every > 0 && i mod config.power_every = config.power_every - 1
-        then Notify.publish notify (Notify.Power (i mod 3));
-        if
-          config.hotplug_every > 0
-          && i mod config.hotplug_every = config.hotplug_every - 1
-        then
-          Notify.publish notify
-            (Notify.Hotplug { core = i mod 8; online = i mod 2 = 0 });
-        loop (i + 1)
-      end
-    in
-    loop 0
+  let tick i =
+    t.taken <- t.taken + 1;
+    Notify.publish notify (Notify.Thermal (temp_at config i));
+    if config.power_every > 0 && i mod config.power_every = config.power_every - 1
+    then Notify.publish notify (Notify.Power (i mod 3));
+    if
+      config.hotplug_every > 0
+      && i mod config.hotplug_every = config.hotplug_every - 1
+    then
+      Notify.publish notify
+        (Notify.Hotplug { core = i mod 8; online = i mod 2 = 0 })
   in
-  t.fiber <- Some (Fiber.spawn ~label:"sensors" ~daemon:true body);
+  t.fiber <-
+    Some
+      (Chorus_svc.Svc.periodic ~label:"sensors" ~period:config.period
+         ~count:config.samples tick);
   t
 
 let samples_taken t = t.taken

@@ -1,5 +1,5 @@
 module Fiber = Chorus.Fiber
-module Rpc = Chorus.Rpc
+module Svc = Chorus_svc.Svc
 
 type freq = Falloc | Ffree of int
 
@@ -10,8 +10,8 @@ type preq = Fault of int | Protect of int | Count
 type presp = Mapped | Already | Oom | Done | Count_is of int
 
 type t = {
-  frame_ep : (freq, fresp) Rpc.endpoint;
-  managers : (preq, presp) Rpc.endpoint array;
+  frame_ep : (freq, fresp) Svc.t;
+  managers : (preq, presp) Svc.t array;
   pages_per_manager : int;
   pages : int;
   mutable faults : int;
@@ -22,7 +22,7 @@ let serve_frames ep ~frames =
   for f = 0 to frames - 1 do
     Queue.push f free
   done;
-  Rpc.serve ep (fun req ->
+  Svc.serve ep (fun req ->
       match req with
       | Falloc -> if Queue.is_empty free then Fnone else Frame (Queue.pop free)
       | Ffree f ->
@@ -32,12 +32,12 @@ let serve_frames ep ~frames =
 let serve_manager t ep =
   (* page -> frame for the slice this manager owns *)
   let table : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  Rpc.serve ep (fun req ->
+  Svc.serve ep (fun req ->
       match req with
       | Fault page ->
         if Hashtbl.mem table page then Already
         else begin
-          match Rpc.call t.frame_ep Falloc with
+          match Svc.call t.frame_ep Falloc with
           | Frame f ->
             (* charge the page-table update *)
             Fiber.work 40;
@@ -51,20 +51,23 @@ let serve_manager t ep =
         | None -> Done
         | Some f ->
           Hashtbl.remove table page;
-          (match Rpc.call t.frame_ep (Ffree f) with
+          (match Svc.call t.frame_ep (Ffree f) with
           | Fok -> ()
           | Frame _ | Fnone -> assert false);
           Done)
       | Count -> Count_is (Hashtbl.length table))
 
-let start ?(pages_per_manager = 1024) ~pages ~frames () =
+let start ?(pages_per_manager = 1024) ?config ~pages ~frames () =
   if pages_per_manager < 1 then invalid_arg "Vmserv.start";
   let nmanagers = (pages + pages_per_manager - 1) / pages_per_manager in
   let t =
-    { frame_ep = Rpc.endpoint ~label:"frame-alloc" ();
+    { frame_ep =
+        Svc.create ?config ~subsystem:"vm" ~metric_name:"frame"
+          ~label:"frame-alloc" ();
       managers =
         Array.init nmanagers (fun i ->
-            Rpc.endpoint ~label:(Printf.sprintf "vm-%d" i) ());
+            Svc.create ?config ~subsystem:"vm" ~metric_name:"manager"
+              ~label:(Printf.sprintf "vm-%d" i) ());
       pages_per_manager;
       pages;
       faults = 0 }
@@ -86,21 +89,21 @@ let manager_of t page =
 
 let fault t page =
   t.faults <- t.faults + 1;
-  match Rpc.call ~words:3 (manager_of t page) (Fault page) with
+  match Svc.call ~words:3 (manager_of t page) (Fault page) with
   | Mapped -> `Mapped
   | Already -> `Already
   | Oom -> `Oom
   | Done | Count_is _ -> assert false
 
 let protect t page =
-  match Rpc.call ~words:3 (manager_of t page) (Protect page) with
+  match Svc.call ~words:3 (manager_of t page) (Protect page) with
   | Done -> ()
   | Mapped | Already | Oom | Count_is _ -> assert false
 
 let mapped t =
   Array.fold_left
     (fun acc ep ->
-      match Rpc.call ep Count with
+      match Svc.call ep Count with
       | Count_is n -> acc + n
       | Mapped | Already | Oom | Done -> assert false)
     0 t.managers

@@ -1,23 +1,61 @@
 module Fiber = Chorus.Fiber
 module Chan = Chorus.Chan
 module Rng = Chorus_util.Rng
+module Svc = Chorus_svc.Svc
 
 type rel_stats = {
   mutable calls : int;
   mutable retransmissions : int;
   mutable failures : int;
   mutable duplicates_served : int;
+  mutable dedup_evictions : int;
 }
+
+(* Bounded (peer, seq) duplicate-suppression cache: FIFO in insertion
+   order, so eviction is deterministic.  A re-[set] of a live key
+   updates in place without renewing its position; an evicted key that
+   returns is a fresh insertion.  The queue mirrors the table exactly:
+   every key appears in it once. *)
+module Dedup = struct
+  type 'v t = {
+    tbl : (int * int, 'v) Hashtbl.t;
+    order : (int * int) Queue.t;
+    cap : int;
+    stats : rel_stats;
+  }
+
+  let create ~cap stats =
+    { tbl = Hashtbl.create 32; order = Queue.create (); cap; stats }
+
+  let find_opt d k = Hashtbl.find_opt d.tbl k
+
+  let set d k v =
+    if Hashtbl.mem d.tbl k then Hashtbl.replace d.tbl k v
+    else begin
+      if d.cap > 0 && Queue.length d.order >= d.cap then begin
+        let victim = Queue.pop d.order in
+        Hashtbl.remove d.tbl victim;
+        d.stats.dedup_evictions <- d.stats.dedup_evictions + 1
+      end;
+      Queue.push k d.order;
+      Hashtbl.replace d.tbl k v
+    end
+end
+
+let default_dedup_capacity = 4096
 
 type t = {
   fabric : Fabric.t;
   nic : Fabric.nic;
   ports : (int, Fabric.frame Chan.t) Hashtbl.t;
+  port_svcs : (int, Fabric.frame Svc.cast) Hashtbl.t;
+      (** ports whose listener is a service endpoint; the demux offers
+          frames through the endpoint's overload policy *)
   pending : (int, string Chan.t) Hashtbl.t;
       (** outstanding reliable calls, by seq *)
   reply_demux_on : (int, unit) Hashtbl.t;
       (** reply ports whose demux fiber is running *)
-  served : (int, (int * int, string option) Hashtbl.t) Hashtbl.t;
+  served : (int, string option Dedup.t) Hashtbl.t;
       (** per-port duplicate-suppression state for {!serve_async}:
           (peer, seq) -> None while in flight, Some reply once sent.
           Lives on the stack, not in the serve fiber, so a restarted
@@ -34,13 +72,14 @@ let create fabric nic =
     { fabric;
       nic;
       ports = Hashtbl.create 8;
+      port_svcs = Hashtbl.create 8;
       pending = Hashtbl.create 8;
       reply_demux_on = Hashtbl.create 4;
       served = Hashtbl.create 4;
       retry_rng = Rng.make (0x57ac + (131 * Fabric.addr nic));
       stats =
         { calls = 0; retransmissions = 0; failures = 0;
-          duplicates_served = 0 };
+          duplicates_served = 0; dedup_evictions = 0 };
       next_seq = 1 }
   in
   (* the demux fiber owns the NIC's rx channel *)
@@ -51,9 +90,15 @@ let create fabric nic =
        (fun () ->
          let rec loop () =
            let f = Chan.recv (Fabric.rx nic) in
-           (match Hashtbl.find_opt t.ports f.Fabric.port with
-           | Some ch -> Chan.send ~words:4 ch f
-           | None -> (* no listener: drop, like a closed port *) ());
+           (match Hashtbl.find_opt t.port_svcs f.Fabric.port with
+           | Some svc ->
+             (* a shed/rejected frame is indistinguishable from wire
+                loss; the caller's retransmission recovers it *)
+             ignore (Svc.offer ~words:4 svc f)
+           | None -> (
+             match Hashtbl.find_opt t.ports f.Fabric.port with
+             | Some ch -> Chan.send ~words:4 ch f
+             | None -> (* no listener: drop, like a closed port *) ()));
            loop ()
          in
          loop ()));
@@ -151,7 +196,20 @@ let call t ~dst ~port ?(timeout = 50_000) ?(attempts = 5) req =
   in
   attempt 0
 
-let serve_async t ~port handler =
+(* Wrap a port channel in a service endpoint and register it with the
+   demux, which then enqueues through the endpoint's overload policy. *)
+let attach_port_svc t ~port ?config requests =
+  let svc =
+    Svc.cast_attach ?config ~subsystem:"net"
+      ~metric_name:(Printf.sprintf "port%d" port)
+      ~label:(Printf.sprintf "port-%d" port)
+      requests
+  in
+  Hashtbl.replace t.port_svcs port svc;
+  svc
+
+let serve_async ?config ?(dedup_capacity = default_dedup_capacity) t ~port
+    handler =
   (* reuse the port channel when a previous server incarnation already
      registered it: a restarted service resumes the same endpoint *)
   let requests =
@@ -159,60 +217,55 @@ let serve_async t ~port handler =
     | Some ch -> ch
     | None -> listen t ~port
   in
+  let svc = attach_port_svc t ~port ?config requests in
   let seen =
     match Hashtbl.find_opt t.served port with
-    | Some tbl -> tbl
+    | Some d -> d
     | None ->
-      let tbl = Hashtbl.create 32 in
-      Hashtbl.replace t.served port tbl;
-      tbl
+      let d = Dedup.create ~cap:dedup_capacity t.stats in
+      Hashtbl.replace t.served port d;
+      d
   in
-  let rec loop () =
-    let f = Chan.recv requests in
-    let key = (f.Fabric.src, f.Fabric.seq) in
-    (match Hashtbl.find_opt seen key with
-    | Some (Some cached) ->
-      (* completed earlier: replay the reply *)
-      t.stats.duplicates_served <- t.stats.duplicates_served + 1;
-      send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq
-        cached
-    | Some None ->
-      (* still in flight: the eventual reply will answer this
-         retransmission too, so just swallow it *)
-      t.stats.duplicates_served <- t.stats.duplicates_served + 1
-    | None ->
-      Hashtbl.replace seen key None;
-      let src = f.Fabric.src and seq = f.Fabric.seq in
-      let reply r =
-        match Hashtbl.find_opt seen key with
-        | Some (Some _) -> ()  (* double reply: keep the first *)
-        | Some None | None ->
-          Hashtbl.replace seen key (Some r);
-          send t ~dst:src ~port:(reply_port port) ~seq r
-      in
-      handler ~src f.Fabric.payload ~reply);
-    loop ()
-  in
-  loop ()
-
-let serve t ~port handler =
-  let requests = listen t ~port in
-  (* (peer, seq) -> cached reply, for duplicate suppression *)
-  let seen : (int * int, string) Hashtbl.t = Hashtbl.create 32 in
-  let rec loop () =
-    let f = Chan.recv requests in
-    let key = (f.Fabric.src, f.Fabric.seq) in
-    let reply =
-      match Hashtbl.find_opt seen key with
-      | Some cached ->
+  Svc.serve_cast svc (fun f ->
+      let key = (f.Fabric.src, f.Fabric.seq) in
+      match Dedup.find_opt seen key with
+      | Some (Some cached) ->
+        (* completed earlier: replay the reply *)
         t.stats.duplicates_served <- t.stats.duplicates_served + 1;
-        cached
+        send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq
+          cached
+      | Some None ->
+        (* still in flight: the eventual reply will answer this
+           retransmission too, so just swallow it *)
+        t.stats.duplicates_served <- t.stats.duplicates_served + 1
       | None ->
-        let r = handler ~src:f.Fabric.src f.Fabric.payload in
-        Hashtbl.replace seen key r;
-        r
-    in
-    send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq reply;
-    loop ()
-  in
-  loop ()
+        Dedup.set seen key None;
+        let src = f.Fabric.src and seq = f.Fabric.seq in
+        let reply r =
+          match Dedup.find_opt seen key with
+          | Some (Some _) -> ()  (* double reply: keep the first *)
+          | Some None | None ->
+            Dedup.set seen key (Some r);
+            send t ~dst:src ~port:(reply_port port) ~seq r
+        in
+        handler ~src f.Fabric.payload ~reply)
+
+let serve ?config ?(dedup_capacity = default_dedup_capacity) t ~port handler =
+  let requests = listen t ~port in
+  let svc = attach_port_svc t ~port ?config requests in
+  (* (peer, seq) -> cached reply, for duplicate suppression *)
+  let seen : string Dedup.t = Dedup.create ~cap:dedup_capacity t.stats in
+  Svc.serve_cast svc (fun f ->
+      let key = (f.Fabric.src, f.Fabric.seq) in
+      let reply =
+        match Dedup.find_opt seen key with
+        | Some cached ->
+          t.stats.duplicates_served <- t.stats.duplicates_served + 1;
+          cached
+        | None ->
+          let r = handler ~src:f.Fabric.src f.Fabric.payload in
+          Dedup.set seen key r;
+          r
+      in
+      send t ~dst:f.Fabric.src ~port:(reply_port port) ~seq:f.Fabric.seq
+        reply)

@@ -29,6 +29,9 @@ type rel_stats = {
   mutable retransmissions : int;
   mutable failures : int;  (** gave up after max attempts *)
   mutable duplicates_served : int;  (** server-side replays suppressed *)
+  mutable dedup_evictions : int;
+      (** (peer, seq) entries dropped from the bounded
+          duplicate-suppression caches (FIFO insertion order) *)
 }
 
 val rel_stats : t -> rel_stats
@@ -45,13 +48,26 @@ val call :
     counted in the run's {!Chorus.Runstats.t.retries}.  [None] when
     every attempt timed out. *)
 
-val serve : t -> port:int -> (src:int -> string -> string) -> unit
+val serve :
+  ?config:Chorus_svc.Svc.config -> ?dedup_capacity:int -> t -> port:int ->
+  (src:int -> string -> string) -> unit
 (** Serve requests on [port] forever (run in a daemon fiber):
     deduplicates retransmitted requests by (peer, seq), replaying the
-    cached reply instead of re-executing the handler. *)
+    cached reply instead of re-executing the handler.  The dedup cache
+    holds at most [dedup_capacity] entries (default 4096), evicting in
+    FIFO insertion order and counting evictions in
+    {!rel_stats.dedup_evictions}.
+
+    The port's frame queue runs through a {!Chorus_svc.Svc} endpoint:
+    [config] sets its overload policy, applied by the demux fiber on
+    enqueue.  A frame dropped by [`Reject] or [`Shed_oldest] looks
+    exactly like wire loss to the remote caller, whose retransmission
+    recovers it.  [`Block] with a capacity cannot bound the port
+    channel (it is attached, not created, by the endpoint) — it
+    behaves like the unbounded default. *)
 
 val serve_async :
-  t -> port:int ->
+  ?config:Chorus_svc.Svc.config -> ?dedup_capacity:int -> t -> port:int ->
   (src:int -> string -> reply:(string -> unit) -> unit) -> unit
 (** Like {!serve} but the handler answers through the [reply] callback
     instead of a return value, so it may hand slow requests to worker
@@ -62,4 +78,6 @@ val serve_async :
     {!serve}, survives server restarts: the (peer, seq) cache and the
     port channel live on the stack, so calling [serve_async] again on
     the same port after the serving fiber died resumes the same
-    endpoint with exactly-once semantics intact. *)
+    endpoint with exactly-once semantics intact.  [config] and
+    [dedup_capacity] as in {!serve}; the cache capacity is fixed by
+    the first server incarnation on the port. *)

@@ -296,6 +296,73 @@ let test_choice_send_case () =
   in
   ()
 
+let test_choice_send_full_no_commit () =
+  (* a send case on a full buffered channel is not ready: the choice
+     must take the timeout arm and leave the channel untouched *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let c = Chan.buffered 1 in
+        Chan.send c 1;
+        let tag =
+          Chan.choose
+            [ Chan.send_case c 2 (fun () -> "sent");
+              Chan.after 10_000 (fun () -> "timeout") ]
+        in
+        Alcotest.(check string) "timeout wins over full channel" "timeout"
+          tag;
+        Fiber.sleep 50_000;
+        Alcotest.(check int) "nothing enqueued" 1 (Chan.length c);
+        Alcotest.(check int) "original value intact" 1 (Chan.recv c))
+  in
+  ()
+
+let test_choice_send_full_commits_after_drain () =
+  (* the same send case commits exactly once when a receiver frees the
+     slot, and never double-delivers *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let c = Chan.buffered 1 in
+        Chan.send c 1;
+        let first = ref 0 in
+        let _consumer =
+          Fiber.spawn ~daemon:true (fun () ->
+              Fiber.sleep 5_000;
+              first := Chan.recv c)
+        in
+        let tag =
+          Chan.choose [ Chan.send_case c 2 (fun () -> "sent") ]
+        in
+        Fiber.sleep 50_000;
+        Alcotest.(check string) "send committed once unblocked" "sent" tag;
+        Alcotest.(check int) "consumer saw the original" 1 !first;
+        Alcotest.(check int) "exactly one value enqueued" 1 (Chan.length c);
+        Alcotest.(check int) "it is the chosen send's value" 2 (Chan.recv c))
+  in
+  ()
+
+let test_choice_send_full_beats_late_timeout () =
+  (* slot frees before the timeout arm fires: the send must win, and
+     the timeout must not also have committed anything *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let c = Chan.buffered 1 in
+        Chan.send c 1;
+        let _consumer =
+          Fiber.spawn ~daemon:true (fun () ->
+              Fiber.sleep 5_000;
+              ignore (Chan.recv c))
+        in
+        let tag =
+          Chan.choose
+            [ Chan.send_case c 2 (fun () -> "sent");
+              Chan.after 200_000 (fun () -> "timeout") ]
+        in
+        Fiber.sleep 300_000;
+        Alcotest.(check string) "send wins when freed in time" "sent" tag;
+        Alcotest.(check int) "committed exactly once" 1 (Chan.length c))
+  in
+  ()
+
 let test_choice_poll_strategy () =
   let (_ : Runstats.t) =
     run (fun () ->
@@ -635,6 +702,12 @@ let () =
           Alcotest.test_case "commits exactly once" `Quick
             test_choice_commit_once;
           Alcotest.test_case "send case" `Quick test_choice_send_case;
+          Alcotest.test_case "send case on full channel stays pending"
+            `Quick test_choice_send_full_no_commit;
+          Alcotest.test_case "send case commits once after drain" `Quick
+            test_choice_send_full_commits_after_drain;
+          Alcotest.test_case "send case beats a later timeout" `Quick
+            test_choice_send_full_beats_late_timeout;
           Alcotest.test_case "poll strategy" `Quick test_choice_poll_strategy ] );
       ( "mailbox-rpc",
         [ Alcotest.test_case "selective receive" `Quick test_mailbox_selective;

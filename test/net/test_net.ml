@@ -236,6 +236,64 @@ let test_reliable_call_gives_up () =
   in
   ()
 
+let test_dedup_cache_bounded () =
+  (* the duplicate-suppression cache evicts in FIFO insertion order
+     once it hits its configured capacity, and counts what it drops *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server ~dedup_capacity:2 ~port:9
+                 (fun ~src:_ req -> req ^ "!")));
+        for i = 1 to 5 do
+          match
+            Stack.call client ~dst:(Stack.addr server) ~port:9
+              (string_of_int i)
+          with
+          | Some _ -> ()
+          | None -> Alcotest.fail "call failed on clean network"
+        done;
+        Alcotest.(check int) "evictions = distinct keys - capacity" 3
+          (Stack.rel_stats server).Stack.dedup_evictions)
+  in
+  ()
+
+let test_port_overload_reject_recovers_by_retry () =
+  (* a frame rejected by the port endpoint's overload policy looks
+     like wire loss; the client's retransmission eventually lands *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server
+                 ~config:
+                   (Chorus_svc.Svc.config ~capacity:1 ~policy:`Reject ())
+                 ~port:9
+                 (fun ~src:_ req ->
+                   Fiber.work 20_000;
+                   req ^ "!")));
+        let fibers =
+          List.init 4 (fun i ->
+              Fiber.spawn (fun () ->
+                  match
+                    Stack.call client ~dst:(Stack.addr server) ~port:9
+                      ~timeout:30_000 ~attempts:10 (string_of_int i)
+                  with
+                  | Some r ->
+                    Alcotest.(check string) "own reply"
+                      (string_of_int i ^ "!") r
+                  | None -> Alcotest.fail "call failed under rejection"))
+        in
+        List.iter (fun f -> ignore (Fiber.join f)) fibers)
+  in
+  ()
+
 let test_concurrent_calls_not_crossed () =
   (* concurrent callers on one stack must each get their own reply *)
   let (_ : Runstats.t) =
@@ -379,6 +437,10 @@ let () =
             test_reliable_call_clean_network;
           Alcotest.test_case "call over 30% loss" `Quick
             test_reliable_call_over_loss;
+          Alcotest.test_case "dedup cache bounded" `Quick
+            test_dedup_cache_bounded;
+          Alcotest.test_case "port reject recovered by retry" `Quick
+            test_port_overload_reject_recovers_by_retry;
           Alcotest.test_case "call gives up" `Quick
             test_reliable_call_gives_up;
           Alcotest.test_case "concurrent calls" `Quick
