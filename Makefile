@@ -1,4 +1,4 @@
-.PHONY: all build test fmt doc lint-loops ci bench
+.PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard
 
 all: build
 
@@ -48,4 +48,16 @@ lint-loops:
 bench:
 	dune exec bench/main.exe
 
-ci: build test fmt doc lint-loops
+# A small seeded chaos campaign plus the oracle selftest (~2s): every
+# fault kind gets explored, every oracle must stay green, and the
+# planted violation must be caught.  Exit 1 on any oracle violation,
+# 2 if the selftest fails.
+chaos-smoke:
+	dune exec bin/chorus_sim.exe -- chaos --disk-runs 30 --kv-runs 6 --selftest
+
+# Compare the committed BENCH_*.json baselines against a fresh
+# regeneration of their deterministic fields.
+bench-guard:
+	scripts/bench_guard
+
+ci: build test fmt doc lint-loops chaos-smoke

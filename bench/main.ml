@@ -345,10 +345,70 @@ let write_overload_json file =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* Part 6: chaos campaign                                              *)
+
+(* The full fault-space campaign at the acceptance scale, plus the
+   oracle selftest.  Every field except runs/sec is a pure function of
+   the seed; oracle_violations is the headline number and must be 0. *)
+let write_chaos_json file =
+  let module Chaos = Chorus_chaos.Chaos in
+  print_endline "\n=====================================================";
+  print_endline " Chaos: fault-space campaign with oracles";
+  print_endline "=====================================================\n";
+  let disk_runs = 160 and kv_runs = 48 and seed = 42 in
+  let t0 = Unix.gettimeofday () in
+  let r = Chaos.campaign ~disk_runs ~kv_runs ~seed () in
+  let dt = Unix.gettimeofday () -. t0 in
+  let st = Chaos.selftest ~seed in
+  Printf.printf
+    "runs %d  ops %d  injected %d  violations %d  (%.1f runs/sec host)\n"
+    r.Chaos.runs r.Chaos.total_ops r.Chaos.faults_injected
+    (List.length r.Chaos.violations)
+    (float_of_int r.Chaos.runs /. dt);
+  Printf.printf "selftest: caught %b, shrunk to %d faults, replay %b\n"
+    st.Chaos.caught st.Chaos.minimal_faults st.Chaos.st_replay_identical;
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-chaos-v1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string b
+    (Printf.sprintf "  \"disk_runs\": %d,\n  \"kv_runs\": %d,\n" disk_runs
+       kv_runs);
+  Buffer.add_string b (Printf.sprintf "  \"runs\": %d,\n" r.Chaos.runs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"client_ops\": %d,\n" r.Chaos.total_ops);
+  Buffer.add_string b
+    (Printf.sprintf "  \"faults_injected\": %d,\n" r.Chaos.faults_injected);
+  Buffer.add_string b "  \"faults_explored\": {";
+  List.iteri
+    (fun i (kind, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\": %d" kind n))
+    r.Chaos.kinds;
+  Buffer.add_string b "\n  },\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"oracle_violations\": %d,\n"
+       (List.length r.Chaos.violations));
+  Buffer.add_string b
+    (Printf.sprintf "  \"runs_per_host_sec\": %.1f,\n"
+       (float_of_int r.Chaos.runs /. dt));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"selftest\": { \"caught\": %b, \"minimal_faults\": %d, \
+        \"replay_identical\": %b }\n"
+       st.Chaos.caught st.Chaos.minimal_faults st.Chaos.st_replay_identical);
+  Buffer.add_string b "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--overload-only" args then
     write_overload_json "BENCH_overload.json"
+  else if List.mem "--chaos-only" args then
+    write_chaos_json "BENCH_chaos.json"
   else begin
     let tables = not (List.mem "--bechamel-only" args) in
     let bech = not (List.mem "--tables-only" args) in
@@ -357,6 +417,7 @@ let () =
       let rows = run_bechamel () in
       write_json "BENCH_obs.json" rows;
       write_cluster_json "BENCH_cluster.json";
-      write_overload_json "BENCH_overload.json"
+      write_overload_json "BENCH_overload.json";
+      write_chaos_json "BENCH_chaos.json"
     end
   end

@@ -424,10 +424,10 @@ let cluster_cmd =
             let k = Printf.sprintf "key-%05d" i in
             (match Client.put client k (string_of_int i) with
             | `Ok -> incr acked
-            | `Unavailable -> incr unavailable);
+            | `Net_fail -> incr unavailable);
             match Client.get client k with
             | `Found v when v = string_of_int i -> ()
-            | `Found _ | `Miss | `Unavailable -> incr wrong
+            | `Found _ | `Miss | `Net_fail -> incr wrong
           done;
           (match injector with Some inj -> Faults.wait inj | None -> ());
           let t =
@@ -474,6 +474,80 @@ let cluster_cmd =
       const go $ nodes_arg $ shards_arg $ repl_arg $ ops_arg $ loss_arg
       $ crashes_arg $ seed_arg)
 
+let chaos_cmd =
+  let doc =
+    "Run a deterministic chaos campaign: enumerate fault schedules \
+     (service-fiber kills, node crashes, fabric loss/dup/reorder/delay, \
+     disk read errors), run a recorded workload under each, and check \
+     linearizability, durability, recovery and quiescence oracles.  \
+     Violations are replay-verified and shrunk to minimal schedules."
+  in
+  let module Chaos = Chorus_chaos.Chaos in
+  let module Schedule = Chorus_chaos.Schedule in
+  let disk_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "disk-runs" ] ~doc:"Disk-scenario schedules to explore.")
+  in
+  let kv_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "kv-runs" ] ~doc:"Cluster-scenario schedules to explore.")
+  in
+  let selftest_arg =
+    Arg.(
+      value & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Also plant a history corruption and verify the oracles \
+             catch, shrink and replay it.")
+  in
+  let go disk_runs kv_runs selftest seed =
+    let t0 = Unix.gettimeofday () in
+    let r = Chaos.campaign ~disk_runs ~kv_runs ~seed () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let t =
+      Tablefmt.create
+        ~title:
+          (Printf.sprintf "chaos campaign: %d runs, seed %d" r.Chaos.runs seed)
+        ~columns:[ ("metric", Tablefmt.Left); ("value", Tablefmt.Right) ]
+    in
+    let addi name v = Tablefmt.add_row t [ name; string_of_int v ] in
+    addi "runs" r.Chaos.runs;
+    addi "client ops recorded" r.Chaos.total_ops;
+    addi "faults injected" r.Chaos.faults_injected;
+    List.iter
+      (fun (k, n) -> addi (Printf.sprintf "faults explored: %s" k) n)
+      r.Chaos.kinds;
+    addi "oracle violations" (List.length r.Chaos.violations);
+    Tablefmt.add_row t
+      [ "runs/sec (host)"; Printf.sprintf "%.1f" (float_of_int r.Chaos.runs /. dt) ];
+    Tablefmt.print t;
+    List.iter
+      (fun v ->
+        Printf.printf "VIOLATION (%s): %s\n  schedule: %s\n  minimal:  %s\n  replay-identical: %b\n"
+          (match v.Chaos.vscenario with Chaos.Disk -> "disk" | Chaos.Kv -> "kv")
+          v.Chaos.first
+          (Schedule.to_string v.Chaos.schedule)
+          (Schedule.to_string v.Chaos.minimal)
+          v.Chaos.replay_identical)
+      r.Chaos.violations;
+    if selftest then begin
+      let s = Chaos.selftest ~seed in
+      Printf.printf
+        "selftest: planted violation %s, shrunk to %d faults, replay \
+         identical: %b\n"
+        (if s.Chaos.caught then "caught" else "MISSED")
+        s.Chaos.minimal_faults s.Chaos.st_replay_identical;
+      if
+        not (s.Chaos.caught && s.Chaos.st_replay_identical && s.Chaos.minimal_faults = 0)
+      then exit 2
+    end;
+    if r.Chaos.violations <> [] then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const go $ disk_arg $ kv_arg $ selftest_arg $ seed_arg)
+
 let () =
   let doc =
     "Chorus: a message-passing multicore OS simulator (HotOS XIII \
@@ -483,4 +557,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; profile_cmd; cluster_cmd ]))
+          [ list_cmd; run_cmd; trace_cmd; profile_cmd; cluster_cmd; chaos_cmd ]))

@@ -1,0 +1,649 @@
+(* The chaos engine.  See chaos.mli for the story.
+
+   Implementation notes, mostly about determinism and non-flakiness:
+
+   - Everything a run observes is a function of its Schedule.t: the
+     engine seed, the fault times, the fault RNG seeds.  Nothing here
+     reads host time or host randomness, so digest equality across
+     runs of the same schedule is exact, not statistical.
+
+   - Clients record what *they* saw (History), using single-attempt
+     calls with generous timeouts: a timed-out operation is Lost, and
+     Lost is always safe for the checker (a lost write may take effect
+     anytime-or-never, a lost read constrains nothing).  No client
+     ever retries a write, so no write can be applied twice — the
+     classic way chaos harnesses poison their own histories.
+
+   - Oracle bounds (recovery deadlines, quiesce settles) are sized
+     several times worse than the worst path through the scenario
+     (retry storms, elections), so a violation means a broken system,
+     not a tight constant. *)
+
+module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
+module Engine = Chorus.Engine
+module History = Chorus.History
+module Runtime = Chorus.Runtime
+module Rng = Chorus_util.Rng
+module Machine = Chorus_machine.Machine
+module Policy = Chorus_sched.Policy
+module Diskmodel = Chorus_machine.Diskmodel
+module Svc = Chorus_svc.Svc
+module Blockdev = Chorus_kernel.Blockdev
+module Bcache = Chorus_kernel.Bcache
+module Supervisor = Chorus_kernel.Supervisor
+module Fabric = Chorus_net.Fabric
+module Stack = Chorus_net.Stack
+module Cluster = Chorus_cluster.Cluster
+module Client = Chorus_cluster.Client
+module Faults = Chorus_workload.Faults
+
+type scenario = Disk | Kv
+
+type outcome = {
+  digest : string;
+  violations : string list;
+  injected : int;
+  ops : int;
+}
+
+exception Chaos_kill
+(* raised by the crash-point hook inside the victim's serve fiber *)
+
+(* ------------------------------------------------------------------ *)
+(* Shared plumbing                                                     *)
+
+let live () = Engine.live_fibers (Engine.current ())
+
+(* Turn (time, thunk) pairs into one schedule-driven injector.  Times
+   are nudged apart when equal so the sorted order is unambiguous. *)
+let start_injector actions =
+  match actions with
+  | [] -> None
+  | l ->
+    let l = List.stable_sort (fun (a, _) (b, _) -> compare a b) l in
+    let rec spread last = function
+      | [] -> []
+      | (t, f) :: rest ->
+        let t = if t <= last then last + 1 else t in
+        (t, f) :: spread t rest
+    in
+    let l = spread (-1) l in
+    let arr = Array.of_list l in
+    Some
+      (Faults.start_schedule
+         ~at:(List.map fst l)
+         ~inject:(fun ~n ->
+           (snd arr.(n - 1)) ();
+           true))
+
+let serialize_history hist b =
+  List.iter
+    (fun (o : History.op) ->
+      Buffer.add_string b
+        (Printf.sprintf "%d %s %s %s %d %d %s\n" o.proc
+           (match o.kind with `Read -> "r" | `Write -> "w")
+           o.key o.value o.invoked
+           (if o.returned = max_int then -1 else o.returned)
+           (match o.outcome with
+           | None -> "pending"
+           | Some History.Acked -> "acked"
+           | Some (History.Value None) -> "miss"
+           | Some (History.Value (Some v)) -> "=" ^ v
+           | Some History.Lost -> "lost")))
+    (History.ops hist)
+
+let written_values hist key =
+  List.filter_map
+    (fun (o : History.op) ->
+      if o.kind = `Write && o.key = key then Some o.value else None)
+    (History.ops hist)
+
+let has_acked_write hist key =
+  List.exists
+    (fun (o : History.op) ->
+      o.kind = `Write && o.key = key && o.outcome = Some History.Acked)
+    (History.ops hist)
+
+(* The planted oracle violation for selftest: a completed read of a
+   value nobody ever wrote.  Must be recorded inside the run (it
+   stamps virtual times). *)
+let plant_corruption hist =
+  let op = History.invoke hist ~proc:13 ~kind:`Read ~key:"k0" () in
+  History.return_ hist op (History.Value (Some "bogus-never-written"))
+
+let finish ~hist ~tail ~viols ~injected =
+  (match Lin.check_history hist with
+  | `Ok -> ()
+  | `Violation m -> viols := ("linearizability: " ^ m) :: !viols);
+  let violations = List.rev !viols in
+  let b = Buffer.create 1024 in
+  serialize_history hist b;
+  Buffer.add_buffer b tail;
+  List.iter
+    (fun v ->
+      Buffer.add_string b v;
+      Buffer.add_char b '\n')
+    violations;
+  { digest = Digest.to_hex (Digest.string (Buffer.contents b));
+    violations;
+    injected = !injected;
+    ops = History.length hist }
+
+(* ------------------------------------------------------------------ *)
+(* Disk scenario: supervised KV store over Bcache + Blockdev           *)
+
+type store_req = Put of string * string | Get of string
+
+type store_resp = Ack | Val of string option
+
+let key_block k = Char.code k.[1] - Char.code '0'
+
+let disk_op_timeout = 400_000
+
+let disk_recovery_bound = 800_000
+
+let run_disk ~corrupt (sch : Schedule.t) =
+  let hist = History.create () in
+  let injected = ref 0 in
+  let viols = ref [] in
+  let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
+  let tail = Buffer.create 128 in
+  Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
+  let (_ : Chorus.Runstats.t) =
+    Runtime.run
+      (Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
+         (Machine.mesh ~cores:8))
+      (fun () ->
+        let dev = Blockdev.start ~disk:Diskmodel.default () in
+        let cache = Bcache.start ~shards:2 ~capacity:64 ~dev () in
+        let ep : (store_req, store_resp) Svc.t =
+          Svc.create ~subsystem:"chaos" ~label:"store" ()
+        in
+        let handler = function
+          | Put (k, v) ->
+            Bcache.put cache (key_block k) ~off:0 (v ^ "\n");
+            Ack
+          | Get k -> (
+            let s = Bcache.get_range cache (key_block k) ~off:0 ~len:32 in
+            match String.index_opt s '\n' with
+            | Some i -> Val (Some (String.sub s 0 i))
+            | None -> Val None)
+        in
+        let words_of_resp = function
+          | Ack | Val None -> 2
+          | Val (Some s) -> 2 + ((String.length s + 7) / 8)
+        in
+        let sup =
+          Supervisor.start ~max_restarts:100 ~window:1_000_000_000
+            Supervisor.One_for_one
+            [ { Supervisor.cname = "store";
+                cstart = Svc.starter ~words_of_resp ep handler } ]
+        in
+        (* crash points: first dequeue inside each window kills the
+           store's serve fiber (with the request it just dequeued) *)
+        let kill_windows =
+          List.filter_map
+            (function
+              | Schedule.Kill_point { point; at; dur } ->
+                Some (point, at, dur, ref false)
+              | _ -> None)
+            sch.Schedule.faults
+        in
+        Svc.set_crashpoint
+          (Some
+             (fun name ->
+               let now = Fiber.now () in
+               List.iter
+                 (fun (pt, at, dur, fired) ->
+                   if
+                     (not !fired) && String.equal pt name && now >= at
+                     && now < at + dur
+                   then begin
+                     fired := true;
+                     incr injected;
+                     raise Chaos_kill
+                   end)
+                 kill_windows));
+        let baseline = live () in
+        let actions = ref [] in
+        List.iter
+          (function
+            | Schedule.Disk_errors { at; dur; p } ->
+              actions :=
+                ( at,
+                  fun () ->
+                    incr injected;
+                    Blockdev.set_read_fault dev ~p ~seed:(sch.Schedule.seed + at)
+                      () )
+                :: ( at + dur,
+                     fun () -> Blockdev.set_read_fault dev () )
+                :: !actions
+            | _ -> ())
+          sch.Schedule.faults;
+        let inj = start_injector !actions in
+        (* workload: 2 procs x 10 single-attempt ops on 4 shared keys *)
+        let keys = [| "k0"; "k1"; "k2"; "k3" |] in
+        let one_shot req map =
+          let r = Svc.call_async ~words:4 ep req in
+          Chan.choose
+            [ Chan.recv_case r (fun x -> map x);
+              Chan.after disk_op_timeout (fun () -> History.Lost) ]
+        in
+        let client proc =
+          for i = 0 to 9 do
+            Fiber.sleep (15_000 + ((((proc * 7) + (i * 13)) mod 9) * 4_000));
+            let key = keys.((proc + (2 * i)) mod 4) in
+            if i mod 3 = 2 then begin
+              let op = History.invoke hist ~proc ~kind:`Read ~key () in
+              History.return_ hist op
+                (one_shot (Get key) (function
+                  | `Ok (Val vo) -> History.Value vo
+                  | `Ok Ack | `Busy -> History.Lost))
+            end
+            else begin
+              let v = Printf.sprintf "p%d-%d" proc i in
+              let op =
+                History.invoke hist ~proc ~kind:`Write ~key ~value:v ()
+              in
+              History.return_ hist op
+                (one_shot (Put (key, v)) (function
+                  | `Ok Ack -> History.Acked
+                  | `Ok (Val _) | `Busy -> History.Lost))
+            end
+          done
+        in
+        let c0 = Fiber.spawn ~label:"chaos-client-0" (fun () -> client 0) in
+        let c1 = Fiber.spawn ~label:"chaos-client-1" (fun () -> client 1) in
+        ignore (Fiber.join c0);
+        ignore (Fiber.join c1);
+        (match inj with Some t -> Faults.wait t | None -> ());
+        Blockdev.set_read_fault dev ();
+        (* kill windows are hook-based, not injector-based: a window
+           opening after the workload drains would otherwise still be
+           armed and kill the recovery probe itself.  Wait the windows
+           out and disarm before claiming "faults cleared". *)
+        let faults_end =
+          List.fold_left
+            (fun acc (_, at, dur, _) -> max acc (at + dur))
+            0 kill_windows
+        in
+        let now = Fiber.now () in
+        if faults_end > now then Fiber.sleep (faults_end - now);
+        Svc.set_crashpoint None;
+        (* recovery oracle: the (supervised, possibly just restarted)
+           store must answer again within the bound *)
+        let t0 = Fiber.now () in
+        let r = Svc.call_async ~words:4 ep (Get "k0") in
+        (match
+           Chan.choose
+             [ Chan.recv_case r (fun x -> `R x);
+               Chan.after disk_recovery_bound (fun () -> `T) ]
+         with
+        | `R (`Ok _) ->
+          Buffer.add_string tail
+            (Printf.sprintf "recovered=%d\n" (Fiber.now () - t0))
+        | `R `Busy | `T ->
+          viol "recovery: store silent %d cycles after faults cleared"
+            disk_recovery_bound);
+        (* final reads close the history and back the durability check *)
+        Array.iter
+          (fun key ->
+            let acked = has_acked_write hist key in
+            let writes = written_values hist key in
+            let op = History.invoke hist ~proc:9 ~kind:`Read ~key () in
+            match one_shot (Get key) (function
+              | `Ok (Val vo) -> History.Value vo
+              | `Ok Ack | `Busy -> History.Lost)
+            with
+            | History.Value (Some v) as oc ->
+              History.return_ hist op oc;
+              if not (List.mem v writes) then
+                viol "durability: key %s holds never-written value %s" key v
+            | History.Value None as oc ->
+              History.return_ hist op oc;
+              if acked then
+                viol "durability: key %s lost its acked write(s)" key
+            | oc ->
+              History.return_ hist op oc;
+              viol "recovery: final read of %s got no answer" key)
+          keys;
+        if corrupt then plant_corruption hist;
+        (* quiesce: stop the supervised store, then nothing may be
+           left running or queued beyond what the run started with *)
+        Supervisor.stop sup;
+        Fiber.sleep 60_000;
+        let depth = Svc.depth ep in
+        if depth > 0 then viol "quiesce: %d requests stuck in store inbox" depth;
+        let end_live = live () in
+        if end_live > baseline then
+          viol "quiesce: %d live fibers leaked (%d > %d)"
+            (end_live - baseline) end_live baseline;
+        Buffer.add_string tail
+          (Printf.sprintf "injected=%d read_errors=%d retries=%d restarts=%d live=%d end=%d\n"
+             !injected (Blockdev.read_errors dev) (Bcache.read_retries cache)
+             (Supervisor.restarts sup) end_live (Fiber.now ())))
+  in
+  finish ~hist ~tail ~viols ~injected
+
+(* ------------------------------------------------------------------ *)
+(* Kv scenario: the replicated cluster over a faulty fabric            *)
+
+let kv_settle = 1_000_000
+
+let kv_node_deadline = 3_000_000
+
+let kv_probe_deadline = 2_000_000
+
+let run_kv ~corrupt (sch : Schedule.t) =
+  let hist = History.create () in
+  let injected = ref 0 in
+  let viols = ref [] in
+  let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
+  let tail = Buffer.create 128 in
+  Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
+  let (_ : Chorus.Runstats.t) =
+    Runtime.run
+      (Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
+         (Machine.mesh ~cores:16))
+      (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:(sch.Schedule.seed + 1) () in
+        let c =
+          Cluster.create ~nshards:2 ~replication:3 ~seed:sch.Schedule.seed
+            ~nnodes:3 net
+        in
+        Cluster.start ~max_restarts:100 ~window:1_000_000_000 c;
+        let mk ?attempts s label =
+          Client.create ?attempts ~seed:(sch.Schedule.seed + s)
+            ~bootstrap:(Cluster.addrs c)
+            (Stack.create net (Fabric.attach net ~label ()))
+        in
+        (* workload clients never retry an operation (attempts:1): a
+           write either acks or is Lost — retrying would risk applying
+           it twice, which no register history can absorb *)
+        let wl = [| mk ~attempts:1 101 "wl0"; mk ~attempts:1 102 "wl1" |] in
+        let probe = mk 103 "probe" in
+        Fiber.sleep kv_settle;
+        let baseline = live () in
+        let actions = ref [] in
+        let add t f = actions := (t, f) :: !actions in
+        let window at dur on off =
+          add at (fun () ->
+              incr injected;
+              on ());
+          add (at + dur) off
+        in
+        List.iter
+          (function
+            | Schedule.Kill_node { node; at } ->
+              add at (fun () ->
+                  if Cluster.node_up c node then begin
+                    incr injected;
+                    Cluster.crash_node c node
+                  end)
+            | Schedule.Frame_loss { at; dur; p } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~loss:p ())
+                (fun () -> Fabric.set_faults net ~loss:0.0 ())
+            | Schedule.Frame_dup { at; dur; p } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~dup:p ())
+                (fun () -> Fabric.set_faults net ~dup:0.0 ())
+            | Schedule.Frame_reorder { at; dur; p } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~reorder:p ())
+                (fun () -> Fabric.set_faults net ~reorder:0.0 ())
+            | Schedule.Frame_delay { at; dur; p; cycles } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~delay:p ~delay_cycles:cycles ())
+                (fun () -> Fabric.set_faults net ~delay:0.0 ())
+            | Schedule.Kill_point _ | Schedule.Disk_errors _ -> ())
+          sch.Schedule.faults;
+        let inj = start_injector !actions in
+        let keys = [| "k0"; "k1"; "k2" |] in
+        let client proc =
+          for i = 0 to 7 do
+            Fiber.sleep (40_000 + ((((proc * 11) + (i * 17)) mod 7) * 20_000));
+            let key = keys.((proc + i) mod 3) in
+            if i mod 3 = 2 then begin
+              let op = History.invoke hist ~proc ~kind:`Read ~key () in
+              match Client.get wl.(proc) key with
+              | `Found v -> History.return_ hist op (History.Value (Some v))
+              | `Miss -> History.return_ hist op (History.Value None)
+              | `Net_fail -> History.return_ hist op History.Lost
+            end
+            else begin
+              let v = Printf.sprintf "p%d-%d" proc i in
+              let op =
+                History.invoke hist ~proc ~kind:`Write ~key ~value:v ()
+              in
+              match Client.put wl.(proc) key v with
+              | `Ok -> History.return_ hist op History.Acked
+              | `Net_fail -> History.return_ hist op History.Lost
+            end
+          done
+        in
+        let c0 = Fiber.spawn ~label:"chaos-client-0" (fun () -> client 0) in
+        let c1 = Fiber.spawn ~label:"chaos-client-1" (fun () -> client 1) in
+        ignore (Fiber.join c0);
+        ignore (Fiber.join c1);
+        (match inj with Some t -> Faults.wait t | None -> ());
+        Fabric.set_faults net ~loss:0.0 ~dup:0.0 ~reorder:0.0 ~delay:0.0 ();
+        (* recovery oracle 1: supervision heals every crashed node *)
+        let deadline = Fiber.now () + kv_node_deadline in
+        let rec wait_up () =
+          if List.for_all (Cluster.node_up c) (Cluster.addrs c) then true
+          else if Fiber.now () >= deadline then false
+          else begin
+            Fiber.sleep 50_000;
+            wait_up ()
+          end
+        in
+        if not (wait_up ()) then
+          viol "recovery: crashed node not restarted within %d cycles"
+            kv_node_deadline;
+        (* recovery oracle 2: the data plane answers again *)
+        let t0 = Fiber.now () in
+        let rec probe_put () =
+          match Client.put probe "probe-key" "up" with
+          | `Ok ->
+            Buffer.add_string tail
+              (Printf.sprintf "recovered=%d\n" (Fiber.now () - t0));
+            true
+          | `Net_fail ->
+            if Fiber.now () - t0 > kv_probe_deadline then false else probe_put ()
+        in
+        if not (probe_put ()) then
+          viol "recovery: cluster silent %d cycles after faults cleared"
+            kv_probe_deadline;
+        (* final reads + durability: an acked write must still be
+           readable; any readable value must have been written *)
+        Array.iter
+          (fun key ->
+            let acked = has_acked_write hist key in
+            let writes = written_values hist key in
+            let op = History.invoke hist ~proc:9 ~kind:`Read ~key () in
+            match Client.get probe key with
+            | `Found v ->
+              History.return_ hist op (History.Value (Some v));
+              if not (List.mem v writes) then
+                viol "durability: key %s holds never-written value %s" key v
+            | `Miss ->
+              History.return_ hist op (History.Value None);
+              if acked then
+                viol "durability: key %s lost its acked write(s)" key
+            | `Net_fail ->
+              History.return_ hist op History.Lost;
+              viol "recovery: final read of %s got no answer" key)
+          keys;
+        if corrupt then plant_corruption hist;
+        Cluster.stop c;
+        Fiber.sleep 100_000;
+        let end_live = live () in
+        if end_live > baseline then
+          viol "quiesce: %d live fibers leaked (%d > %d)"
+            (end_live - baseline) end_live baseline;
+        Buffer.add_string tail
+          (Printf.sprintf
+             "injected=%d elections=%d leader_changes=%d crashes=%d restarts=%d live=%d end=%d\n"
+             !injected
+             (Cluster.elections_started c)
+             (Cluster.leader_changes c) (Cluster.node_crashes c)
+             (Cluster.restarts c) end_live (Fiber.now ())))
+  in
+  finish ~hist ~tail ~viols ~injected
+
+let run_one ?(corrupt = false) scenario sch =
+  match scenario with
+  | Disk -> run_disk ~corrupt sch
+  | Kv -> run_kv ~corrupt sch
+
+(* ------------------------------------------------------------------ *)
+(* Schedule enumeration                                                *)
+
+let rec init_in_order n f = if n = 0 then [] else f () :: init_in_order (n - 1) f
+
+let gen scenario ~seed ~index =
+  let rng = Rng.make ((seed * 1_000_003) + (index * 7919) + 11) in
+  let sseed = seed + (31 * index) in
+  let n = if index = 0 then 0 else 1 + Rng.int rng 3 in
+  let fault () =
+    match scenario with
+    | Disk ->
+      if Rng.bool rng then
+        Schedule.Kill_point
+          { point = "chaos.store";
+            at = 30_000 + Rng.int rng 570_000;
+            dur = 50_000 + Rng.int rng 150_000 }
+      else
+        Schedule.Disk_errors
+          { at = 30_000 + Rng.int rng 470_000;
+            dur = 80_000 + Rng.int rng 220_000;
+            p = 0.2 +. (0.25 *. float_of_int (Rng.int rng 3)) }
+    | Kv -> (
+      match Rng.int rng 5 with
+      | 0 ->
+        Schedule.Kill_node { node = Rng.int rng 3; at = 1_050_000 + Rng.int rng 1_150_000 }
+      | 1 ->
+        Schedule.Frame_loss
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.05 +. (0.1 *. float_of_int (Rng.int rng 4)) }
+      | 2 ->
+        Schedule.Frame_dup
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.1 +. (0.15 *. float_of_int (Rng.int rng 3)) }
+      | 3 ->
+        Schedule.Frame_reorder
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.1 +. (0.15 *. float_of_int (Rng.int rng 3)) }
+      | _ ->
+        Schedule.Frame_delay
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.1 +. (0.1 *. float_of_int (Rng.int rng 3));
+            cycles = 20_000 + Rng.int rng 60_000 })
+  in
+  { Schedule.seed = sseed; faults = init_in_order n fault }
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking and campaigns                                             *)
+
+let shrink ?(corrupt = false) scenario sch =
+  let violating s = (run_one ~corrupt scenario s).violations <> [] in
+  if not (violating sch) then sch
+  else
+    let rec go s =
+      match List.find_opt violating (Schedule.subschedules s) with
+      | Some s' -> go s'
+      | None -> s
+    in
+    go sch
+
+type violation = {
+  vscenario : scenario;
+  schedule : Schedule.t;
+  minimal : Schedule.t;
+  first : string;
+  replay_identical : bool;
+}
+
+type report = {
+  runs : int;
+  total_ops : int;
+  faults_injected : int;
+  kinds : (string * int) list;
+  violations : violation list;
+}
+
+let campaign ?(disk_runs = 24) ?(kv_runs = 8) ~seed () =
+  let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
+  in
+  let runs = ref 0
+  and injected = ref 0
+  and total_ops = ref 0
+  and violations = ref [] in
+  let explore scenario sch =
+    incr runs;
+    List.iter (fun f -> bump (Schedule.kind f)) sch.Schedule.faults;
+    let o = run_one scenario sch in
+    injected := !injected + o.injected;
+    total_ops := !total_ops + o.ops;
+    if o.violations <> [] then begin
+      (* a violation must replay from its schedule alone, and its
+         shrunk form must still violate — otherwise the "reproducer"
+         is worthless and we say so *)
+      let o2 = run_one scenario sch in
+      let minimal = shrink scenario sch in
+      let om = run_one scenario minimal in
+      violations :=
+        { vscenario = scenario;
+          schedule = sch;
+          minimal;
+          first = List.hd o.violations;
+          replay_identical =
+            String.equal o.digest o2.digest && om.violations <> [] }
+        :: !violations
+    end
+  in
+  for i = 0 to disk_runs - 1 do
+    explore Disk (gen Disk ~seed ~index:i)
+  done;
+  for i = 0 to kv_runs - 1 do
+    explore Kv (gen Kv ~seed ~index:i)
+  done;
+  { runs = !runs;
+    total_ops = !total_ops;
+    faults_injected = !injected;
+    kinds =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
+    violations = List.rev !violations }
+
+type selftest_result = {
+  caught : bool;
+  minimal_faults : int;
+  st_replay_identical : bool;
+}
+
+let selftest ~seed =
+  (* index 2 always carries at least one fault: shrinking must strip
+     it, because the planted corruption violates on its own *)
+  let sch = gen Disk ~seed ~index:2 in
+  let o = run_one ~corrupt:true Disk sch in
+  let minimal = shrink ~corrupt:true Disk sch in
+  let o1 = run_one ~corrupt:true Disk minimal in
+  let o2 = run_one ~corrupt:true Disk minimal in
+  { caught =
+      List.exists
+        (fun v ->
+          String.length v >= 15 && String.sub v 0 15 = "linearizability")
+        o.violations;
+    minimal_faults = Schedule.nfaults minimal;
+    st_replay_identical =
+      String.equal o1.digest o2.digest
+      && o1.violations = o2.violations
+      && o1.violations <> [] }

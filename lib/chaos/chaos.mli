@@ -1,0 +1,110 @@
+(** The chaos engine: deterministic fault-space campaigns with
+    linearizability and recovery oracles.
+
+    Paper Section 5 sets the reliability goal — following Erlang,
+    "aiming for {e not failing}" — and Section 4's observation that the
+    kernel resembles "a client/server network application" means the
+    right test discipline is the distributed-systems one: inject
+    faults, record what the {e clients} observed, and check the
+    observations against the specification.  Because every Chorus run
+    is a pure function of its seed, chaos testing here is stronger
+    than Jepsen on real hardware: a fault plan is a {!Schedule.t}
+    value, every run replays byte-identically from its schedule, and a
+    failing schedule shrinks to a minimal reproducer by re-running
+    subschedules ({!shrink}) — FoundationDB's simulation discipline,
+    not spray-and-pray.
+
+    Two scenarios cover the stack's two service planes:
+
+    - {!Disk}: a supervised KV store over {!Chorus_kernel.Bcache} and
+      {!Chorus_kernel.Blockdev} on one 8-core node.  Faults: service
+      fiber kills at the [chaos.store] crash point (dequeue boundary —
+      the in-flight request dies with the fiber) and transient
+      block-device read-error windows.
+    - {!Kv}: the full replicated cluster (3 nodes, 2 shards,
+      replication 3) over the fabric.  Faults: whole-node crashes plus
+      fabric loss / duplication / reordering / delay windows.
+
+    After every run, four oracles:
+
+    + {e linearizability} — the per-key Wing-Gong check ({!Lin}) over
+      the client-recorded history, lost writes allowed to take effect
+      anytime-or-never;
+    + {e durability} — no acknowledged write may vanish: the
+      post-recovery read of each key must see a written value;
+    + {e recovery} — after the last fault window closes, the service
+      plane must answer again within a stated bound (supervised
+      restarts actually healed the system);
+    + {e quiescence} — the run winds down to no more live fibers than
+      it started with and no requests stuck in inboxes (nothing
+      leaked). *)
+
+type scenario = Disk | Kv
+
+type outcome = {
+  digest : string;
+      (** hex digest of the full observable record (history, fault and
+          recovery counters, violations).  Two runs of the same
+          schedule are byte-identical iff their digests are equal —
+          the replay oracle. *)
+  violations : string list;  (** empty = all oracles passed *)
+  injected : int;  (** faults that actually fired *)
+  ops : int;  (** client operations recorded in the history *)
+}
+
+val run_one : ?corrupt:bool -> scenario -> Schedule.t -> outcome
+(** Run one schedule and check every oracle.  [corrupt] (default
+    false) appends a fabricated read of a never-written value to the
+    history — a deliberately broken oracle input used by {!selftest}
+    to prove violations are actually caught. *)
+
+val gen : scenario -> seed:int -> index:int -> Schedule.t
+(** The campaign's schedule enumerator: deterministic in
+    [(seed, index)].  Index 0 is always the fault-free schedule (the
+    sanity point); higher indices carry 1–3 faults with
+    seed-derived kinds, windows and probabilities. *)
+
+val shrink : ?corrupt:bool -> scenario -> Schedule.t -> Schedule.t
+(** Greedy ddmin-lite: repeatedly drop any single fault whose removal
+    keeps the schedule violating, to a fixpoint.  Returns the input
+    unchanged if it does not violate. *)
+
+type violation = {
+  vscenario : scenario;
+  schedule : Schedule.t;  (** as explored *)
+  minimal : Schedule.t;  (** after {!shrink} *)
+  first : string;  (** first oracle violation message *)
+  replay_identical : bool;
+      (** the schedule re-ran to the same digest and the minimal
+          schedule still violates *)
+}
+
+type report = {
+  runs : int;
+  total_ops : int;
+  faults_injected : int;
+  kinds : (string * int) list;
+      (** faults explored per {!Schedule.kind}, alphabetical *)
+  violations : violation list;
+}
+
+val campaign : ?disk_runs:int -> ?kv_runs:int -> seed:int -> unit -> report
+(** Enumerate and run [disk_runs] {!Disk} schedules (default 24) and
+    [kv_runs] {!Kv} schedules (default 8), checking every oracle after
+    every run; violations are replay-verified and shrunk. *)
+
+type selftest_result = {
+  caught : bool;  (** the planted violation was detected *)
+  minimal_faults : int;
+      (** faults left after shrinking — 0, since the planted violation
+          does not depend on any injected fault *)
+  st_replay_identical : bool;
+      (** two runs of the minimal schedule: same digest, same
+          violations *)
+}
+
+val selftest : seed:int -> selftest_result
+(** End-to-end oracle validation: run a faulty schedule with
+    [~corrupt:true], confirm the checker flags it, shrink it, and
+    replay the minimal schedule byte-identically.  Guards against the
+    quietest failure mode a checker has — passing everything. *)

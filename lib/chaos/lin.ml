@@ -1,0 +1,108 @@
+type op = {
+  proc : int;
+  kind : [ `Read | `Write ];
+  value : string option;
+  invoked : int;
+  returned : int option;
+}
+
+let op_to_string o =
+  Printf.sprintf "p%d %s %s [%d,%s]" o.proc
+    (match o.kind with `Read -> "read" | `Write -> "write")
+    (match o.value with Some v -> v | None -> "nil")
+    o.invoked
+    (match o.returned with Some r -> string_of_int r | None -> "lost")
+
+(* One register.  Search state is (set of linearized ops, register
+   value); memoizing on it turns the factorial order search into a
+   walk of the subset lattice — the Wing-Gong observation. *)
+let check ops =
+  (* lost reads constrain nothing *)
+  let ops =
+    List.filter (fun o -> not (o.kind = `Read && o.returned = None)) ops
+  in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  if n = 0 then `Ok
+  else if n > 60 then
+    invalid_arg "Lin.check: > 60 ops on one key (bitmask search)"
+  else begin
+    let ret i = match arr.(i).returned with Some r -> r | None -> max_int in
+    (* all completed ops must linearize; lost writes are optional *)
+    let completed_mask = ref 0 in
+    Array.iteri
+      (fun i o -> if o.returned <> None then completed_mask := !completed_mask lor (1 lsl i))
+      arr;
+    let completed_mask = !completed_mask in
+    let seen : (int * string option, unit) Hashtbl.t = Hashtbl.create 256 in
+    (* i may be linearized next iff no other pending op responded
+       before i was even invoked (real-time order) *)
+    let minimal mask i =
+      let ok = ref true in
+      for j = 0 to n - 1 do
+        if j <> i && mask land (1 lsl j) = 0 && ret j < arr.(i).invoked then
+          ok := false
+      done;
+      !ok
+    in
+    let rec dfs mask reg =
+      mask land completed_mask = completed_mask
+      ||
+      if Hashtbl.mem seen (mask, reg) then false
+      else begin
+        Hashtbl.replace seen (mask, reg) ();
+        let found = ref false in
+        let i = ref 0 in
+        while (not !found) && !i < n do
+          let k = !i in
+          if mask land (1 lsl k) = 0 && minimal mask k then
+            (match arr.(k).kind with
+            | `Write -> found := dfs (mask lor (1 lsl k)) arr.(k).value
+            | `Read ->
+              if arr.(k).value = reg then
+                found := dfs (mask lor (1 lsl k)) reg);
+          incr i
+        done;
+        !found
+      end
+    in
+    if dfs 0 None then `Ok
+    else
+      `Violation
+        (Printf.sprintf "no linearization of %d ops: %s" n
+           (String.concat "; " (List.map op_to_string ops)))
+  end
+
+let of_history_op (o : Chorus.History.op) =
+  let outcome =
+    match o.Chorus.History.outcome with Some oc -> oc | None -> Chorus.History.Lost
+  in
+  match outcome with
+  | Chorus.History.Acked ->
+    Some
+      { proc = o.Chorus.History.proc; kind = o.kind;
+        value = Some o.Chorus.History.value; invoked = o.invoked;
+        returned = Some o.returned }
+  | Chorus.History.Value vo ->
+    Some
+      { proc = o.Chorus.History.proc; kind = o.kind; value = vo;
+        invoked = o.invoked; returned = Some o.returned }
+  | Chorus.History.Lost -> (
+    match o.Chorus.History.kind with
+    | `Read -> None
+    | `Write ->
+      Some
+        { proc = o.Chorus.History.proc; kind = `Write;
+          value = Some o.Chorus.History.value; invoked = o.invoked;
+          returned = None })
+
+let check_history h =
+  let rec go = function
+    | [] -> `Ok
+    | (key, kops) :: rest -> (
+      let ops = List.filter_map of_history_op kops in
+      match check ops with
+      | `Ok -> go rest
+      | `Violation msg -> `Violation (Printf.sprintf "key %s: %s" key msg))
+  in
+  go (Chorus.History.by_key h)

@@ -1,0 +1,40 @@
+(** Wing–Gong linearizability checker for per-key registers.
+
+    A history is linearizable iff every operation can be assigned a
+    single point between its invocation and response such that the
+    resulting sequential history is legal (each read returns the most
+    recently written value).  Keys are independent registers, so the
+    check is compositional: partition by key and check each subhistory
+    alone ({!check_history}) — the decomposition that keeps the
+    NP-complete core tractable for campaign-sized histories.
+
+    Per key the checker runs the Wing–Gong search: repeatedly pick a
+    {e minimal} pending operation (one that no other pending
+    operation's response precedes in real time), try to linearize it
+    next, backtrack on illegal reads.  Visited states are memoized on
+    (set of linearized ops, register value), which collapses the
+    factorial search to the subset lattice.
+
+    Lost operations — invoked, never answered — get the Jepsen
+    treatment: a lost {e read} constrains nothing and is dropped; a
+    lost {e write} may have taken effect at any point after its
+    invocation {e or never}, so the search may linearize it anywhere
+    its real-time order allows, or leave it out entirely. *)
+
+type op = {
+  proc : int;
+  kind : [ `Read | `Write ];
+  value : string option;
+      (** write: [Some v] written.  read: the result — [Some v] found,
+          [None] miss (registers start absent). *)
+  invoked : int;
+  returned : int option;  (** [None] = lost (no response observed) *)
+}
+
+val check : op list -> [ `Ok | `Violation of string ]
+(** Check one register's history (all ops on one key). *)
+
+val check_history :
+  Chorus.History.t -> [ `Ok | `Violation of string ]
+(** Partition a recorded history by key and check every key; the first
+    violating key is reported (with its ops) as the witness. *)

@@ -1,0 +1,49 @@
+type fault =
+  | Kill_node of { node : int; at : int }
+  | Kill_point of { point : string; at : int; dur : int }
+  | Frame_loss of { at : int; dur : int; p : float }
+  | Frame_dup of { at : int; dur : int; p : float }
+  | Frame_reorder of { at : int; dur : int; p : float }
+  | Frame_delay of { at : int; dur : int; p : float; cycles : int }
+  | Disk_errors of { at : int; dur : int; p : float }
+
+type t = { seed : int; faults : fault list }
+
+let nfaults t = List.length t.faults
+
+let kind = function
+  | Kill_node _ -> "kill-node"
+  | Kill_point _ -> "kill-point"
+  | Frame_loss _ -> "loss"
+  | Frame_dup _ -> "dup"
+  | Frame_reorder _ -> "reorder"
+  | Frame_delay _ -> "delay"
+  | Disk_errors _ -> "disk"
+
+let fault_to_string = function
+  | Kill_node { node; at } -> Printf.sprintf "kill-node(%d)@%d" node at
+  | Kill_point { point; at; dur } ->
+    Printf.sprintf "kill-point(%s)@%d+%d" point at dur
+  | Frame_loss { at; dur; p } ->
+    Printf.sprintf "loss(p=%.2f)@%d+%d" p at dur
+  | Frame_dup { at; dur; p } -> Printf.sprintf "dup(p=%.2f)@%d+%d" p at dur
+  | Frame_reorder { at; dur; p } ->
+    Printf.sprintf "reorder(p=%.2f)@%d+%d" p at dur
+  | Frame_delay { at; dur; p; cycles } ->
+    Printf.sprintf "delay(p=%.2f,%dcy)@%d+%d" p cycles at dur
+  | Disk_errors { at; dur; p } ->
+    Printf.sprintf "disk(p=%.2f)@%d+%d" p at dur
+
+let to_string t =
+  String.concat " "
+    (Printf.sprintf "seed=%d" t.seed
+     ::
+     (match t.faults with
+     | [] -> [ "(no faults)" ]
+     | fs -> List.map fault_to_string fs))
+
+let subschedules t =
+  List.mapi
+    (fun i _ ->
+      { t with faults = List.filteri (fun j _ -> j <> i) t.faults })
+    t.faults

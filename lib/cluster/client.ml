@@ -109,7 +109,7 @@ let operation t ~key ~req =
   match ensure_map t 0 with
   | None ->
     t.failed <- t.failed + 1;
-    `Unavailable
+    `Net_fail
   | Some map ->
     let shard = Shardmap.shard_of_key map key in
     let replicas = Shardmap.replicas map shard in
@@ -127,7 +127,7 @@ let operation t ~key ~req =
     let rec go n hops =
       if n >= t.attempts || hops >= 4 * t.attempts then begin
         t.failed <- t.failed + 1;
-        `Unavailable
+        `Net_fail
       end
       else begin
         let retry ?(redirect = false) () =
@@ -191,7 +191,7 @@ let put t k v =
   match operation t ~key:k ~req:(encode_put k v) with
   | `Acked -> `Ok
   | `Found _ | `Miss -> `Ok  (* cannot happen for a put *)
-  | `Unavailable -> `Unavailable
+  | `Net_fail -> `Net_fail
 
 let get t k =
   Span.timed ~subsystem:"cluster" ~name:"client.get" t.get_h @@ fun () ->
@@ -199,4 +199,4 @@ let get t k =
   | `Found v -> `Found v
   | `Miss -> `Miss
   | `Acked -> `Miss  (* cannot happen for a get *)
-  | `Unavailable -> `Unavailable
+  | `Net_fail -> `Net_fail

@@ -23,9 +23,14 @@ val create :
     per RPC, backoff base 15k doubling to a 120k cap, +-25%
     seed-derived jitter. *)
 
-val put : t -> string -> string -> [ `Ok | `Unavailable ]
+val put : t -> string -> string -> [ `Ok | `Net_fail ]
+(** [`Net_fail] means every attempt was exhausted without a response —
+    the same typed verdict (and the same name) as
+    {!Chorus_net.Netkv.get}'s, so callers handle single-node and
+    clustered give-ups with one pattern.  The operation may or may not
+    have taken effect: a lost ack is not a lost write. *)
 
-val get : t -> string -> [ `Found of string | `Miss | `Unavailable ]
+val get : t -> string -> [ `Found of string | `Miss | `Net_fail ]
 
 val retries : t -> int
 (** Operation-level retries performed (not counting the stack's own
@@ -35,4 +40,4 @@ val redirects : t -> int
 (** ["L<addr>"] leader redirects followed. *)
 
 val ops_failed : t -> int
-(** Operations that exhausted every attempt ([`Unavailable]). *)
+(** Operations that exhausted every attempt ([`Net_fail]). *)

@@ -191,6 +191,19 @@ let start_node t ni =
     if node.incarnation = inc then node.subs <- f :: node.subs
     else Fiber.kill f  (* spawned by a fiber leaked across a crash *)
   in
+  (* A node's serve fibers share protocol state (raft replicas, the
+     stack's dedup caches) with the rest of the node: one dying alone
+     — a chaos crash point, an unhandled handler exception — leaves a
+     half-alive node that answers on one port and is silent on the
+     other.  Escalate: kill the root, so the supervisor restarts the
+     node as a unit (One_for_all in miniature, scoped to the node). *)
+  let escalate f =
+    Fiber.monitor f (fun ~time:_ _st ->
+        if node.incarnation = inc && node.up then
+          match node.root with
+          | Some r when Fiber.alive r -> Fiber.kill r
+          | Some _ | None -> ())
+  in
   let root =
     Fiber.spawn
       ~label:(Printf.sprintf "node%d" node.addr)
@@ -198,20 +211,26 @@ let start_node t ni =
       (fun () ->
         node.up <- true;
         publish t (Notify.Custom (Printf.sprintf "cluster:node%d:up" node.addr));
-        register
-          (Fiber.spawn
-             ~label:(Printf.sprintf "raft-srv-%d" node.addr)
-             ~daemon:true
-             (fun () ->
-               Stack.serve_async ?config:t.overload node.stack
-                 ~port:raft_port (handle_raft node)));
-        register
-          (Fiber.spawn
-             ~label:(Printf.sprintf "kv-srv-%d" node.addr)
-             ~daemon:true
-             (fun () ->
-               Stack.serve_async ?config:t.overload node.stack
-                 ~port:client_port (handle_client t node ~register)));
+        let raft_srv =
+          Fiber.spawn
+            ~label:(Printf.sprintf "raft-srv-%d" node.addr)
+            ~daemon:true
+            (fun () ->
+              Stack.serve_async ?config:t.overload node.stack
+                ~port:raft_port (handle_raft node))
+        in
+        register raft_srv;
+        escalate raft_srv;
+        let kv_srv =
+          Fiber.spawn
+            ~label:(Printf.sprintf "kv-srv-%d" node.addr)
+            ~daemon:true
+            (fun () ->
+              Stack.serve_async ?config:t.overload node.stack
+                ~port:client_port (handle_client t node ~register))
+        in
+        register kv_srv;
+        escalate kv_srv;
         List.iter
           (fun (_, r) -> register (Raft.start_timer r ~register))
           node.rafts;

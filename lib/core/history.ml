@@ -1,0 +1,47 @@
+type outcome = Acked | Value of string option | Lost
+
+type op = {
+  proc : int;
+  kind : [ `Read | `Write ];
+  key : string;
+  value : string;
+  invoked : int;
+  mutable returned : int;
+  mutable outcome : outcome option;
+}
+
+type t = { mutable rev_ops : op list; mutable n : int }
+
+let create () = { rev_ops = []; n = 0 }
+
+let invoke t ~proc ~kind ~key ?(value = "") () =
+  let op =
+    { proc; kind; key; value; invoked = Fiber.now (); returned = max_int;
+      outcome = None }
+  in
+  t.rev_ops <- op :: t.rev_ops;
+  t.n <- t.n + 1;
+  op
+
+let return_ _t op outcome =
+  op.returned <- Fiber.now ();
+  op.outcome <- Some outcome
+
+let ops t = List.rev t.rev_ops
+
+let length t = t.n
+
+let by_key t =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun op ->
+      match Hashtbl.find_opt tbl op.key with
+      | Some l -> l := op :: !l
+      | None ->
+        Hashtbl.replace tbl op.key (ref [ op ]);
+        order := op.key :: !order)
+    (ops t);
+  List.rev_map
+    (fun k -> (k, List.rev !(Hashtbl.find tbl k)))
+    !order

@@ -1,0 +1,51 @@
+(** Client-side operation histories for correctness oracles.
+
+    The chaos engine (lib/chaos) checks linearizability over what the
+    {e clients} observed, not over server internals — the Jepsen
+    discipline.  This module is the recording half: any layer can stamp
+    operation invocations and responses against virtual time without
+    depending on the checker.  Recording is host-side only: it never
+    charges cycles, so an instrumented run is cycle-identical to a bare
+    one. *)
+
+type outcome =
+  | Acked  (** write acknowledged *)
+  | Value of string option  (** read result: [Some v] found, [None] miss *)
+  | Lost
+      (** no response (retries exhausted, service silent).  A lost
+          write may still take effect at any later point — the checker
+          must consider both; a lost read constrains nothing. *)
+
+type op = {
+  proc : int;  (** logical client id *)
+  kind : [ `Read | `Write ];
+  key : string;
+  value : string;  (** the written value; ["" ] for reads *)
+  invoked : int;  (** virtual time of the invocation *)
+  mutable returned : int;  (** virtual time of the response; [max_int] while pending *)
+  mutable outcome : outcome option;  (** [None] while pending *)
+}
+
+type t
+
+val create : unit -> t
+
+val invoke :
+  t -> proc:int -> kind:[ `Read | `Write ] -> key:string -> ?value:string ->
+  unit -> op
+(** Record an invocation at the current virtual time (call from inside
+    a run) and return the open [op] to complete with {!return_}. *)
+
+val return_ : t -> op -> outcome -> unit
+(** Stamp the response at the current virtual time.  An op left
+    pending at the end of the run counts as {!Lost}. *)
+
+val ops : t -> op list
+(** All recorded ops, in invocation order. *)
+
+val length : t -> int
+
+val by_key : t -> (string * op list) list
+(** Partition by key (each key's ops in invocation order), keys in
+    first-appearance order — the compositional split: a history is
+    linearizable iff every per-key subhistory is. *)

@@ -67,7 +67,7 @@ let run_posture ~quick ~seed ~loss ~crash =
           let k = Printf.sprintf "key-%04d" i in
           match Client.put client k (string_of_int i) with
           | `Ok -> acked := i :: !acked
-          | `Unavailable -> incr lost
+          | `Net_fail -> incr lost
         done;
         (match injector with Some inj -> Faults.wait inj | None -> ());
         Fiber.sleep 1_000_000;
@@ -77,7 +77,7 @@ let run_posture ~quick ~seed ~loss ~crash =
             let k = Printf.sprintf "key-%04d" i in
             match Client.get client k with
             | `Found v when v = string_of_int i -> ()
-            | `Found _ | `Miss | `Unavailable -> incr bad_reads)
+            | `Found _ | `Miss | `Net_fail -> incr bad_reads)
           !acked;
         let r =
           ( List.length !acked,
@@ -111,7 +111,7 @@ let run_failover ~quick ~seed ~nnodes =
         for i = 0 to ops - 1 do
           match Client.put client (Printf.sprintf "w%d" i) "x" with
           | `Ok -> incr acked
-          | `Unavailable -> ()
+          | `Net_fail -> ()
         done;
         let t1 = Fiber.now () in
         let window =
@@ -135,7 +135,7 @@ let run_failover ~quick ~seed ~nnodes =
             let rec probe () =
               match Client.put client key "back" with
               | `Ok -> Fiber.now () - crash_at
-              | `Unavailable -> probe ()
+              | `Net_fail -> probe ()
             in
             probe ()
           end

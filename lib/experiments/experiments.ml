@@ -106,7 +106,14 @@ let all =
       claim =
         "servers are queues; past saturation something must give: \
          block backpressures, reject and shed protect latency (S3/S5)";
-      run = E21_overload.run } ]
+      run = E21_overload.run };
+    { id = "e22";
+      title = "Chaos campaign with linearizability and recovery oracles";
+      claim =
+        "aiming for not failing: under enumerated fault schedules the \
+         stack stays linearizable, durable, and recovers — and every \
+         failure is a shrinkable, replayable schedule (S1/S5)";
+      run = E22_chaos.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

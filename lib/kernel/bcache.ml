@@ -24,8 +24,27 @@ type t = {
   eps : (req, resp) Svc.t array;
   mutable hits : int;
   mutable misses : int;
+  mutable read_retries : int;
   miss_c : Metrics.counter;
 }
+
+(* Cache refill survives transient device read faults: bounded retries
+   with exponential backoff, then give up and let the fault surface.
+   Only the shard that hit the fault stalls — its siblings keep
+   serving. *)
+let max_read_attempts = 10
+
+let read_with_retry t dev block =
+  let rec go attempt backoff =
+    match Blockdev.read_result dev block with
+    | Ok data -> data
+    | Error `Io_error ->
+      if attempt >= max_read_attempts then raise Blockdev.Io_error;
+      t.read_retries <- t.read_retries + 1;
+      Fiber.sleep backoff;
+      go (attempt + 1) (min (backoff * 2) 32_000)
+  in
+  go 1 2_000
 
 (* reply payload sized by what actually crosses the interconnect: the
    requested bytes for reads, a bare ack otherwise *)
@@ -58,7 +77,7 @@ let lookup t st dev block =
         Hashtbl.remove st.bufs blk
       | None -> ()
     end;
-    let data = Blockdev.read dev block in
+    let data = read_with_retry t dev block in
     let b = { data; dirty = false; last_use = st.tick } in
     Hashtbl.replace st.bufs block b;
     b
@@ -100,6 +119,7 @@ let start ?(shards = 8) ?(capacity = 1024) ?(spread = true) ?config ~dev () =
               ~label:(Printf.sprintf "bcache-%d" i) ());
       hits = 0;
       misses = 0;
+      read_retries = 0;
       miss_c = Metrics.counter ~subsystem:"bcache" "misses" }
   in
   Array.iter
@@ -151,5 +171,7 @@ let flush t =
 let hits t = t.hits
 
 let misses t = t.misses
+
+let read_retries t = t.read_retries
 
 let shards t = Array.length t.eps

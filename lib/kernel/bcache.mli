@@ -43,4 +43,10 @@ val hits : t -> int
 
 val misses : t -> int
 
+val read_retries : t -> int
+(** Transient {!Blockdev} read faults absorbed by the refill path:
+    each fault costs one bounded exponential-backoff retry (up to 10
+    attempts, 2k–32k cycle sleeps) before the cache gives up and lets
+    {!Blockdev.Io_error} surface.  Only the faulted shard stalls. *)
+
 val shards : t -> int

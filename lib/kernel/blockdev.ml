@@ -1,11 +1,14 @@
 module Fiber = Chorus.Fiber
+module Rng = Chorus_util.Rng
 module Diskmodel = Chorus_machine.Diskmodel
 module Fsspec = Chorus_fsspec.Fsspec
 module Svc = Chorus_svc.Svc
 
 type req = Read of int | Write of int * bytes
 
-type resp = Data of bytes | Done
+type resp = Data of bytes | Done | Io_fail
+
+exception Io_error
 
 type t = {
   ep : (req, resp) Svc.t;
@@ -16,6 +19,11 @@ type t = {
   mutable in_body : int;
   mutable max_concurrency : int;
   disk : Diskmodel.t;
+  (* transient read-fault injection (chaos): own RNG so the fault
+     stream is independent of the run's, drawn only while p > 0 *)
+  mutable fault_p : float;
+  mutable fault_rng : Rng.t;
+  mutable nread_errors : int;
 }
 
 let service t req =
@@ -30,12 +38,19 @@ let service t req =
     match req with
     | Read b ->
       t.reads <- t.reads + 1;
-      let data =
-        match Hashtbl.find_opt t.store b with
-        | Some d -> Bytes.copy d
-        | None -> Bytes.make Fsspec.block_size '\000'
-      in
-      Data data
+      (* a faulted read still paid the full seek+transfer above — the
+         sector came back unreadable, the arm still moved *)
+      if t.fault_p > 0.0 && Rng.bernoulli t.fault_rng t.fault_p then begin
+        t.nread_errors <- t.nread_errors + 1;
+        Io_fail
+      end
+      else
+        let data =
+          match Hashtbl.find_opt t.store b with
+          | Some d -> Bytes.copy d
+          | None -> Bytes.make Fsspec.block_size '\000'
+        in
+        Data data
     | Write (b, data) ->
       t.writes <- t.writes + 1;
       Hashtbl.replace t.store b (Bytes.copy data);
@@ -46,13 +61,14 @@ let service t req =
 
 let words_of_resp = function
   | Data _ -> 4 + (Fsspec.block_size / 8)
-  | Done -> 2
+  | Done | Io_fail -> 2
 
 let start ?(label = "blockdev") ?on ?priority ?config ~disk () =
   let ep = Svc.create ?config ~subsystem:"blockdev" ~label () in
   let t =
     { ep; store = Hashtbl.create 256; head = 0; reads = 0; writes = 0;
-      in_body = 0; max_concurrency = 0; disk }
+      in_body = 0; max_concurrency = 0; disk; fault_p = 0.0;
+      fault_rng = Rng.make 97; nread_errors = 0 }
   in
   let (_ : Fiber.t) = Svc.start ?on ?priority ~words_of_resp ep (service t) in
   t
@@ -60,15 +76,26 @@ let start ?(label = "blockdev") ?on ?priority ?config ~disk () =
 let words_of_block = Fsspec.block_size / 8
 
 
-let read t block =
+let read_result t block =
   match Svc.call ~words:4 t.ep (Read block) with
-  | Data d -> d
+  | Data d -> Ok d
+  | Io_fail -> Error `Io_error
   | Done -> assert false
+
+let read t block =
+  match read_result t block with Ok d -> d | Error `Io_error -> raise Io_error
 
 let write t block data =
   match Svc.call ~words:(4 + words_of_block) t.ep (Write (block, data)) with
   | Done -> ()
-  | Data _ -> assert false
+  | Data _ | Io_fail -> assert false
+
+let set_read_fault t ?(p = 0.0) ?seed () =
+  if p < 0.0 || p >= 1.0 then invalid_arg "Blockdev: fault p must be in [0, 1)";
+  t.fault_p <- p;
+  match seed with Some s -> t.fault_rng <- Rng.make s | None -> ()
+
+let read_errors t = t.nread_errors
 
 let reads t = t.reads
 

@@ -15,7 +15,11 @@
 
 type req = Read of int | Write of int * bytes
 
-type resp = Data of bytes | Done
+type resp = Data of bytes | Done | Io_fail
+
+exception Io_error
+(** A transient read fault (see {!set_read_fault}) surfaced by
+    {!read}. *)
 
 type t
 
@@ -29,9 +33,26 @@ val start :
 
 val read : t -> int -> bytes
 (** [read t block] round-trips a read request; returns a copy of the
-    block (zero-filled when never written). *)
+    block (zero-filled when never written).  Raises {!Io_error} when
+    the device returned a transient read fault. *)
+
+val read_result : t -> int -> (bytes, [ `Io_error ]) result
+(** {!read} with the fault as a value — the retrying-caller flavour
+    ({!Bcache} uses it for its bounded-backoff refill path). *)
 
 val write : t -> int -> bytes -> unit
+
+val set_read_fault : t -> ?p:float -> ?seed:int -> unit -> unit
+(** Make each read independently fail with probability [p] (default
+    [0.], i.e. off — the chaos engine's disk-fault window switch).  A
+    faulted read still charges the full seek+transfer service time;
+    only the data is lost.  Faults draw from the device's own seeded
+    RNG ([seed] reseeds it), never from the run's, and only while
+    [p > 0], so runs with faults off are byte-identical to a device
+    without the knob. *)
+
+val read_errors : t -> int
+(** Transient read faults delivered so far. *)
 
 val reads : t -> int
 

@@ -16,9 +16,20 @@ type nic = {
   rx_ch : frame Chan.t;
 }
 
+type fault_stats = {
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable delayed : int;
+}
+
 type t = {
   latency : int;
-  loss : float;
+  mutable loss : float;
+  mutable dup : float;
+  mutable reorder : float;
+  mutable delay : float;
+  mutable delay_cycles : int;
+  fstats : fault_stats;
   rng : Rng.t;
   wire : (int * frame * nic) Chan.t;
       (** (deliver_at, frame, destination): drained by the wire pump *)
@@ -31,6 +42,11 @@ type t = {
 
 let frame_words f = 6 + ((String.length f.payload + 7) / 8)
 
+let deliver t dst f =
+  t.delivered <- t.delivered + 1;
+  if not (Chan.is_closed dst.rx_ch) then
+    Chan.send ~words:(frame_words f) dst.rx_ch f
+
 (* The wire pump carries frames in flight: it sleeps until each
    frame's arrival time and posts it on the destination's rx channel
    (the receive interrupt). *)
@@ -39,27 +55,67 @@ let wire_pump t =
     let deliver_at, f, dst = Chan.recv t.wire in
     let now = Fiber.now () in
     if deliver_at > now then Fiber.sleep (deliver_at - now);
-    t.delivered <- t.delivered + 1;
-    if not (Chan.is_closed dst.rx_ch) then
-      Chan.send ~words:(frame_words f) dst.rx_ch f;
+    deliver t dst f;
     loop ()
   in
   loop ()
 
-let create ?(latency = 5_000) ?(loss = 0.0) ?(seed = 17) () =
-  if loss < 0.0 || loss >= 1.0 then invalid_arg "Fabric.create: loss";
+(* Faulted frames (duplicates, reordered, delayed) bypass the FIFO
+   wire pump: each rides its own one-shot in-flight fiber, so frames
+   sent after it can overtake — which is the whole point. *)
+let deliver_at t dst f at =
+  ignore
+    (Fiber.spawn ~label:"in-flight" ~daemon:true (fun () ->
+         let now = Fiber.now () in
+         if at > now then Fiber.sleep (at - now);
+         deliver t dst f))
+
+let check_knob name p =
+  if p < 0.0 || p >= 1.0 then
+    invalid_arg (Printf.sprintf "Fabric: %s must be in [0, 1)" name)
+
+let create ?(latency = 5_000) ?(loss = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(delay = 0.0) ?delay_cycles ?(seed = 17) () =
+  check_knob "loss" loss;
+  check_knob "dup" dup;
+  check_knob "reorder" reorder;
+  check_knob "delay" delay;
   let t =
-    { latency; loss; rng = Rng.make seed; wire = Chan.unbounded ~label:"wire" ();
+    { latency; loss; dup; reorder; delay;
+      delay_cycles =
+        (match delay_cycles with Some c -> c | None -> 10 * latency);
+      fstats = { duplicated = 0; reordered = 0; delayed = 0 };
+      rng = Rng.make seed; wire = Chan.unbounded ~label:"wire" ();
       nics = []; next_addr = 0; sent = 0; dropped = 0; delivered = 0 }
   in
   ignore (Fiber.spawn ~label:"wire-pump" ~daemon:true (fun () -> wire_pump t));
   t
 
+let set_faults t ?loss ?dup ?reorder ?delay ?delay_cycles () =
+  let app name field v =
+    match v with
+    | None -> ()
+    | Some p ->
+      check_knob name p;
+      field p
+  in
+  app "loss" (fun p -> t.loss <- p) loss;
+  app "dup" (fun p -> t.dup <- p) dup;
+  app "reorder" (fun p -> t.reorder <- p) reorder;
+  app "delay" (fun p -> t.delay <- p) delay;
+  match delay_cycles with Some c -> t.delay_cycles <- c | None -> ()
+
 let find_nic t addr = List.find_opt (fun n -> n.naddr = addr) t.nics
 
 (* The transmit driver: one fiber per NIC, straight-line code, no
-   locks (paper Section 4's driver pattern). *)
+   locks (paper Section 4's driver pattern).
+
+   Determinism note: the loss draw is unconditional (it always was);
+   the dup/reorder/delay draws happen only while their knob is
+   non-zero, so with the knobs at zero the RNG stream — and therefore
+   the whole run — is byte-identical to the pre-knob fabric. *)
 let driver t nic =
+  let fires p = p > 0.0 && Rng.bernoulli t.rng p in
   let rec loop () =
     let f = Chan.recv nic.tx in
     (* serialization/DMA time proportional to the frame *)
@@ -70,7 +126,20 @@ let driver t nic =
        match find_nic t f.dst with
        | None -> t.dropped <- t.dropped + 1
        | Some dst ->
-         Chan.send ~words:2 t.wire (Fiber.now () + t.latency, f, dst));
+         let base = Fiber.now () + t.latency in
+         (if fires t.delay then begin
+            t.fstats.delayed <- t.fstats.delayed + 1;
+            deliver_at t dst f (base + t.delay_cycles)
+          end
+          else if fires t.reorder then begin
+            t.fstats.reordered <- t.fstats.reordered + 1;
+            deliver_at t dst f (base + t.latency)
+          end
+          else Chan.send ~words:2 t.wire (base, f, dst));
+         if fires t.dup then begin
+           t.fstats.duplicated <- t.fstats.duplicated + 1;
+           deliver_at t dst f (base + (t.latency / 2))
+         end);
     loop ()
   in
   loop ()
@@ -104,3 +173,5 @@ let frames_sent t = t.sent
 let frames_dropped t = t.dropped
 
 let frames_delivered t = t.delivered
+
+let fault_stats t = t.fstats

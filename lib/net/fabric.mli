@@ -11,7 +11,18 @@
     "interrupt" is just a recv.
 
     Frames are typed records (no byte-level encoding): the simulation
-    cares about counts, sizes and ordering, not wire formats. *)
+    cares about counts, sizes and ordering, not wire formats.
+
+    {2 Fault injection}
+
+    Beyond uniform loss the fabric can deterministically duplicate,
+    reorder and delay frames — the full unreliable-datagram fault
+    space the reliable layer above ({!Stack}) must absorb.  All knobs
+    draw from the fabric's seeded RNG {e only when enabled}, so a run
+    with every knob at zero is byte-identical to one on a fabric
+    without the knobs, and the chaos engine can open and close fault
+    windows mid-run ({!set_faults}) without perturbing the stream
+    outside them. *)
 
 type frame = {
   src : int;
@@ -25,10 +36,22 @@ type t
 
 type nic
 
-val create : ?latency:int -> ?loss:float -> ?seed:int -> unit -> t
+val create :
+  ?latency:int -> ?loss:float -> ?dup:float -> ?reorder:float ->
+  ?delay:float -> ?delay_cycles:int -> ?seed:int -> unit -> t
 (** [create ()] builds a fabric; [latency] is the one-way frame delay
     in cycles (default 5000 — an on-package interconnect between
-    nodes), [loss] a uniform drop probability (default 0). *)
+    nodes), [loss] a uniform drop probability (default 0).  [dup]
+    delivers an extra copy of the frame half a latency late; [reorder]
+    holds the frame one extra latency so frames sent after it overtake
+    it; [delay] holds the frame [delay_cycles] (default 10x latency).
+    All probabilities default to 0 (off). *)
+
+val set_faults :
+  t -> ?loss:float -> ?dup:float -> ?reorder:float -> ?delay:float ->
+  ?delay_cycles:int -> unit -> unit
+(** Adjust the fault knobs mid-run (omitted knobs keep their value) —
+    the chaos engine's fault-window switch. *)
 
 val attach : t -> ?label:string -> unit -> nic
 (** Add a node: spawns its transmit-driver fiber and returns the NIC.
@@ -43,10 +66,24 @@ val transmit : nic -> frame -> unit
 
 val rx : nic -> frame Chorus.Chan.t
 (** The receive channel: every frame addressed to this NIC (and not
-    lost) appears here in transmission order per sender. *)
+    lost) appears here in transmission order per sender — unless a
+    fault knob duplicated, reordered or delayed it. *)
 
 val frames_sent : t -> int
 
 val frames_dropped : t -> int
 
 val frames_delivered : t -> int
+
+type fault_stats = {
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable delayed : int;
+}
+
+val fault_stats : t -> fault_stats
+(** Frames touched by each injection knob (loss is {!frames_dropped}).
+    The reliable layer's view of the same faults is
+    {!Stack.rel_stats}: a duplicated frame surfaces there as a
+    [duplicates_served] replay, a reordered or delayed one as a
+    retransmission if it outran the caller's timeout. *)

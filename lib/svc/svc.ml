@@ -29,10 +29,21 @@ let config ?(capacity = 0) ?(policy = `Block) () = { capacity; policy }
 
 exception Busy
 
+(* The ambient crash-point hook: consulted at every serve/serve_cast
+   dequeue boundary.  A single ref read when uninstalled, so the plane
+   costs nothing outside chaos campaigns. *)
+let crashpoint : (string -> unit) option ref = ref None
+
+let set_crashpoint f = crashpoint := f
+
+let hit_crashpoint name =
+  match !crashpoint with None -> () | Some f -> f name
+
 type 'msg cast = {
   inbox : 'msg Chan.t;
   cfg : config;
   clabel : string;
+  cp_name : string;
   on_shed : 'msg -> unit;
   depth_g : Metrics.gauge;
   hwm_g : Metrics.gauge;
@@ -74,6 +85,7 @@ let wrap ~cfg ~subsystem ~metric_name ~label ~on_shed inbox =
     inbox;
     cfg;
     clabel = label;
+    cp_name = subsystem ^ "." ^ label;
     on_shed;
     depth_g = Metrics.gauge ~subsystem (mn ^ "queue_depth");
     hwm_g = Metrics.gauge ~subsystem (mn ^ "queue_hwm");
@@ -192,6 +204,7 @@ let recv_case t f = Chan.recv_case t.inbox f
 let serve ?(words_of_resp = fun _ -> 2) ?until t handler =
   let rec loop () =
     let req, r = take t in
+    hit_crashpoint t.cp_name;
     (* the reply send is part of the serviced work: its send-side charge
        is time the server spends on this request, so it belongs inside
        the service_time window *)
@@ -213,6 +226,7 @@ let serve ?(words_of_resp = fun _ -> 2) ?until t handler =
 let serve_cast t handler =
   let rec loop () =
     let msg = take t in
+    hit_crashpoint t.cp_name;
     Span.timed ~subsystem:t.span_sub ~name:t.span_name t.service_h
       (fun () -> handler msg);
     t.nserved <- t.nserved + 1;
@@ -244,6 +258,8 @@ let periodic ?on ?priority ?(count = 0) ~label ~period body =
       loop 0)
 
 let retire t = Chan.close t.inbox
+
+let crashpoint_name t = t.cp_name
 
 let label t = t.clabel
 

@@ -179,6 +179,23 @@ val retire : 'msg cast -> unit
 (** Close the inbox: blocked callers are aborted with
     [Chan.Closed]. *)
 
+(** {1 Chaos crash points} *)
+
+val set_crashpoint : (string -> unit) option -> unit
+(** Install (or with [None] remove) the ambient crash-point hook.
+    {!serve} and {!serve_cast} call it with the endpoint's crash-point
+    name at every {e dequeue boundary} — after a request is taken off
+    the inbox, before the handler runs, which is exactly where a crash
+    loses the dequeued request.  The hook may raise: the serving fiber
+    crashes, and a {!starter}-based supervisor restart re-attaches the
+    surviving endpoint.  The chaos engine (lib/chaos) uses this to
+    kill named service fibers at chosen cycle windows; with no hook
+    installed (the default) the check is a single ref read and the
+    plane behaves exactly as before. *)
+
+val crashpoint_name : 'msg cast -> string
+(** The endpoint's crash-point name: ["subsystem.label"]. *)
+
 (** {1 Introspection} *)
 
 val label : 'msg cast -> string

@@ -28,6 +28,23 @@ let start_actions cfg ~inject =
          Chan.send t.done_ch ()));
   t
 
+let start_schedule ~at ~inject =
+  let t = { injected = 0; log = []; done_ch = Chan.buffered 1 } in
+  let at = List.sort compare at in
+  ignore
+    (Fiber.spawn ~label:"fault-injector" ~daemon:true (fun () ->
+         List.iteri
+           (fun i when_ ->
+             let now = Fiber.now () in
+             if when_ > now then Fiber.sleep (when_ - now);
+             if inject ~n:(i + 1) then begin
+               t.injected <- t.injected + 1;
+               t.log <- Fiber.now () :: t.log
+             end)
+           at;
+         Chan.send t.done_ch ()));
+  t
+
 let start cfg ~victims =
   start_actions cfg ~inject:(fun ~n:_ ->
       match victims () with

@@ -24,6 +24,13 @@ val start_actions : config -> inject:(n:int -> bool) -> t
     injected.  Same exponential schedule and determinism as
     {!start}. *)
 
+val start_schedule : at:int list -> inject:(n:int -> bool) -> t
+(** Schedule-driven injector (the chaos engine's mode): fire the
+    [n]-th injection at the [n]-th absolute virtual time in [at]
+    (sorted internally; times already past fire immediately).  No RNG
+    at all — the schedule {e is} the fault plan, so replaying the same
+    schedule replays the same faults. *)
+
 val injected : t -> int
 
 val log : t -> int list

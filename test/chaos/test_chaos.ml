@@ -1,0 +1,149 @@
+(* Tests for the chaos engine: the Wing–Gong linearizability checker
+   on hand-built histories (legal and illegal), schedule shrinking
+   neighbourhoods, byte-identical replay of individual runs, a small
+   all-green campaign, and the oracle selftest (a planted violation
+   must be caught, shrunk to zero faults, and replayed). *)
+
+module Lin = Chorus_chaos.Lin
+module Schedule = Chorus_chaos.Schedule
+module Chaos = Chorus_chaos.Chaos
+
+(* ------------------------------------------------------------------ *)
+(* Lin: per-key register checker                                       *)
+
+let op ?value ?returned kind invoked =
+  { Lin.proc = 0; kind; value; invoked; returned }
+
+let wr v i r = { (op `Write i ~returned:r) with Lin.value = Some v }
+
+let rd vo i r = { (op `Read i ~returned:r) with Lin.value = vo }
+
+let check_ok what ops =
+  match Lin.check ops with
+  | `Ok -> ()
+  | `Violation m -> Alcotest.failf "%s: unexpected violation: %s" what m
+
+let check_viol what ops =
+  match Lin.check ops with
+  | `Ok -> Alcotest.failf "%s: expected a violation, got `Ok" what
+  | `Violation _ -> ()
+
+let test_lin_sequential () =
+  check_ok "write then read"
+    [ wr "a" 0 10; rd (Some "a") 20 30 ];
+  check_ok "overwrite then read"
+    [ wr "a" 0 10; wr "b" 20 30; rd (Some "b") 40 50 ];
+  check_ok "initial miss" [ rd None 0 10; wr "a" 20 30 ]
+
+let test_lin_concurrent () =
+  (* reads overlapping a write may see either side of it *)
+  check_ok "overlapping read sees new"
+    [ wr "a" 0 10; wr "b" 20 100; rd (Some "b") 50 60 ];
+  check_ok "overlapping read sees old"
+    [ wr "a" 0 10; wr "b" 20 100; rd (Some "a") 50 60 ];
+  (* two concurrent writes: order is free, later read pins it *)
+  check_ok "concurrent writes, either wins"
+    [ wr "a" 0 100; wr "b" 0 100; rd (Some "a") 200 210 ]
+
+let test_lin_stale_read () =
+  check_viol "stale read after overwrite"
+    [ wr "a" 0 10; wr "b" 20 30; rd (Some "a") 40 50 ];
+  check_viol "read of never-written value"
+    [ wr "a" 0 10; rd (Some "ghost") 20 30 ];
+  check_viol "miss after completed write"
+    [ wr "a" 0 10; rd None 20 30 ]
+
+let test_lin_lost_write () =
+  (* a lost write may take effect any time after invocation... *)
+  check_ok "lost write observed later"
+    [ { (wr "a" 0 0) with Lin.returned = None }; rd (Some "a") 100 110 ];
+  (* ...or never *)
+  check_ok "lost write never applied"
+    [ { (wr "a" 0 0) with Lin.returned = None }; rd None 100 110 ];
+  (* but never before its invocation *)
+  check_viol "lost write seen before invoked"
+    [ rd (Some "a") 0 10; { (wr "a" 100 0) with Lin.returned = None } ]
+
+let test_lin_lost_read () =
+  (* a lost read constrains nothing, even an impossible-looking one *)
+  check_ok "lost read dropped"
+    [ wr "a" 0 10;
+      { (rd (Some "ghost") 20 0) with Lin.returned = None };
+      rd (Some "a") 40 50 ]
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+
+let test_schedule_subschedules () =
+  let s =
+    { Schedule.seed = 9;
+      faults =
+        [ Schedule.Kill_point { point = "chaos.store"; at = 100; dur = 50 };
+          Schedule.Disk_errors { at = 200; dur = 80; p = 0.3 };
+          Schedule.Frame_loss { at = 10; dur = 20; p = 0.1 } ] }
+  in
+  let subs = Schedule.subschedules s in
+  Alcotest.(check int) "one per fault" 3 (List.length subs);
+  List.iter
+    (fun sub ->
+      Alcotest.(check int) "seed preserved" 9 sub.Schedule.seed;
+      Alcotest.(check int) "one fault dropped" 2 (Schedule.nfaults sub))
+    subs;
+  Alcotest.(check (list string))
+    "kind tags"
+    [ "kill-point"; "disk"; "loss" ]
+    (List.map Schedule.kind s.Schedule.faults);
+  let str = Schedule.to_string s in
+  Alcotest.(check bool) "to_string names seed" true
+    (String.length str > 6 && String.sub str 0 6 = "seed=9")
+
+(* ------------------------------------------------------------------ *)
+(* Chaos runs                                                          *)
+
+let test_gen_deterministic () =
+  let a = Chaos.gen Chaos.Disk ~seed:5 ~index:3 in
+  let b = Chaos.gen Chaos.Disk ~seed:5 ~index:3 in
+  Alcotest.(check string)
+    "gen is a pure function of (seed, index)"
+    (Schedule.to_string a) (Schedule.to_string b);
+  let zero = Chaos.gen Chaos.Disk ~seed:5 ~index:0 in
+  Alcotest.(check int) "index 0 is fault-free" 0 (Schedule.nfaults zero)
+
+let test_run_replays () =
+  let sch = Chaos.gen Chaos.Disk ~seed:5 ~index:2 in
+  let a = Chaos.run_one Chaos.Disk sch in
+  let b = Chaos.run_one Chaos.Disk sch in
+  Alcotest.(check string) "same schedule, same digest" a.Chaos.digest
+    b.Chaos.digest;
+  Alcotest.(check (list string)) "no violations" [] a.Chaos.violations;
+  Alcotest.(check bool) "history non-trivial" true (a.Chaos.ops >= 20)
+
+let test_campaign_green () =
+  let r = Chaos.campaign ~disk_runs:6 ~kv_runs:2 ~seed:42 () in
+  Alcotest.(check int) "runs" 8 r.Chaos.runs;
+  Alcotest.(check int) "all oracles green" 0 (List.length r.Chaos.violations);
+  Alcotest.(check bool) "ops recorded" true (r.Chaos.total_ops > 100)
+
+let test_selftest () =
+  let st = Chaos.selftest ~seed:11 in
+  Alcotest.(check bool) "planted violation caught" true st.Chaos.caught;
+  Alcotest.(check int) "shrinks to zero faults" 0 st.Chaos.minimal_faults;
+  Alcotest.(check bool) "minimal schedule replays" true
+    st.Chaos.st_replay_identical
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "lin",
+        [ Alcotest.test_case "sequential" `Quick test_lin_sequential;
+          Alcotest.test_case "concurrent" `Quick test_lin_concurrent;
+          Alcotest.test_case "stale-read" `Quick test_lin_stale_read;
+          Alcotest.test_case "lost-write" `Quick test_lin_lost_write;
+          Alcotest.test_case "lost-read" `Quick test_lin_lost_read ] );
+      ( "schedule",
+        [ Alcotest.test_case "subschedules" `Quick test_schedule_subschedules ]
+      );
+      ( "engine",
+        [ Alcotest.test_case "gen-deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "run-replays" `Quick test_run_replays;
+          Alcotest.test_case "campaign-green" `Quick test_campaign_green;
+          Alcotest.test_case "selftest" `Quick test_selftest ] ) ]

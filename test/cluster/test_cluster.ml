@@ -222,7 +222,7 @@ let test_availability_under_loss_and_crashes () =
           end;
           match Client.put client (key i) (string_of_int i) with
           | `Ok -> acked := i :: !acked
-          | `Unavailable -> ()
+          | `Net_fail -> ()
         done;
         let n_acked = List.length !acked in
         (* bounded unavailability: elections are fast relative to the
@@ -262,11 +262,11 @@ let cluster_digest () =
           let k = Printf.sprintf "d%d" i in
           (match Client.put client k (string_of_int i) with
           | `Ok -> Buffer.add_string results "A"
-          | `Unavailable -> Buffer.add_string results "U");
+          | `Net_fail -> Buffer.add_string results "U");
           match Client.get client k with
           | `Found v -> Buffer.add_string results ("=" ^ v ^ ";")
           | `Miss -> Buffer.add_string results "M;"
-          | `Unavailable -> Buffer.add_string results "u;"
+          | `Net_fail -> Buffer.add_string results "u;"
         done;
         Buffer.add_string results
           (Printf.sprintf "|elections=%d|changes=%d|t=%d"
@@ -320,6 +320,33 @@ let test_runstats_counts_retries () =
   Alcotest.(check int) "no loss, no retries" 0 clean.Runstats.retries
 
 (* ------------------------------------------------------------------ *)
+(* Client give-up verdict                                              *)
+
+let test_client_net_fail_no_cluster () =
+  (* no cluster ever starts: every attempt times out and the client
+     reports the same typed verdict (and the same name) as
+     Netkv.get's give-up — the unified `Net_fail *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:3 () in
+        let st = Stack.create net (Fabric.attach net ()) in
+        let c =
+          Client.create ~attempts:2 ~call_timeout:20_000 ~seed:9
+            ~bootstrap:[ 0; 1; 2 ] st
+        in
+        (match Client.put c "k" "v" with
+        | `Net_fail -> ()
+        | `Ok -> Alcotest.fail "put acked with no cluster running");
+        (match Client.get c "k" with
+        | `Net_fail -> ()
+        | `Found _ | `Miss ->
+          Alcotest.fail "get answered with no cluster running");
+        Alcotest.(check int) "both operations counted as failed" 2
+          (Client.ops_failed c))
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "cluster"
@@ -339,7 +366,9 @@ let () =
           Alcotest.test_case "membership events published" `Quick
             test_membership_events_published;
           Alcotest.test_case "availability under loss + crashes" `Slow
-            test_availability_under_loss_and_crashes
+            test_availability_under_loss_and_crashes;
+          Alcotest.test_case "client Net_fail with no cluster" `Quick
+            test_client_net_fail_no_cluster
         ] );
       ( "determinism",
         [ Alcotest.test_case "same seed, byte-identical run" `Slow

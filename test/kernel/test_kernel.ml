@@ -54,6 +54,40 @@ let test_blockdev_roundtrip () =
   in
   ()
 
+let test_blockdev_read_faults_and_retry () =
+  (* transient read-error windows: the device fails reads with
+     probability p, the cache retries with backoff until the data
+     comes back, and both sides count what happened *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let dev = Blockdev.start ~disk:Diskmodel.default () in
+        for b = 0 to 9 do
+          Blockdev.write dev b
+            (Bytes.make Fsspec.block_size (Char.chr (Char.code 'a' + b)))
+        done;
+        let cache = Bcache.start ~shards:2 ~capacity:4 ~dev () in
+        (match Blockdev.set_read_fault dev ~p:1.0 () with
+        | () -> Alcotest.fail "p = 1.0 accepted (retry could never end)"
+        | exception Invalid_argument _ -> ());
+        Blockdev.set_read_fault dev ~p:0.5 ~seed:7 ();
+        for b = 0 to 9 do
+          let s = Bcache.get_range cache b ~off:0 ~len:4 in
+          Alcotest.(check string) "data survives transient read errors"
+            (String.make 4 (Char.chr (Char.code 'a' + b)))
+            s
+        done;
+        Alcotest.(check bool) "device reported errors" true
+          (Blockdev.read_errors dev > 0);
+        Alcotest.(check bool) "cache retried through them" true
+          (Bcache.read_retries cache > 0);
+        Blockdev.set_read_fault dev ();
+        (match Blockdev.read_result dev 0 with
+        | Ok data ->
+          Alcotest.(check char) "fault window cleared" 'a' (Bytes.get data 0)
+        | Error `Io_error -> Alcotest.fail "error after window cleared"))
+  in
+  ()
+
 let test_blockdev_single_threaded () =
   let (_ : Runstats.t) =
     run (fun () ->
@@ -755,6 +789,59 @@ let test_supervisor_escalation_kills_siblings () =
   in
   ()
 
+let test_supervisor_one_for_all_shared_protocol () =
+  (* two children share protocol state (an epoch the leader bumps on
+     every start, which the follower reads on its start).  One_for_all
+     restarts them together, so the follower's view always matches;
+     when the leader exceeds the restart budget the whole group
+     escalates and the healthy follower is killed too — no orphan left
+     running with a stale epoch *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let epoch = ref 0 in
+        let leader_views = ref [] and follower_views = ref [] in
+        let follower_fiber = ref None in
+        let leader =
+          { Supervisor.cname = "proto-leader";
+            cstart =
+              (fun () ->
+                incr epoch;
+                leader_views := !epoch :: !leader_views;
+                Fiber.spawn ~label:"proto-leader" ~daemon:true (fun () ->
+                    Fiber.sleep 1_000;
+                    failwith "desync")) }
+        in
+        let follower =
+          { Supervisor.cname = "proto-follower";
+            cstart =
+              (fun () ->
+                follower_views := !epoch :: !follower_views;
+                let f =
+                  Fiber.spawn ~label:"proto-follower" ~daemon:true (fun () ->
+                      Fiber.sleep 1_000_000_000)
+                in
+                follower_fiber := Some f;
+                f) }
+        in
+        let sup =
+          Supervisor.start ~max_restarts:2 ~window:10_000_000
+            Supervisor.One_for_all [ leader; follower ]
+        in
+        Fiber.sleep 5_000_000;
+        Alcotest.(check bool) "escalated" true (Supervisor.gave_up sup);
+        Alcotest.(check (list int))
+          "follower's epoch view tracked the leader's on every restart"
+          !leader_views !follower_views;
+        Alcotest.(check int) "initial start + budgeted restarts" 3
+          (List.length !leader_views);
+        match !follower_fiber with
+        | None -> Alcotest.fail "follower never started"
+        | Some f ->
+          Alcotest.(check bool) "follower killed on escalation" false
+            (Fiber.alive f))
+  in
+  ()
+
 let test_supervisor_window_prunes_old_crashes () =
   (* crashes spaced wider than the window never escalate: the restart
      intensity only counts crashes inside the sliding window *)
@@ -908,7 +995,9 @@ let () =
         [ Alcotest.test_case "roundtrip" `Quick test_blockdev_roundtrip;
           Alcotest.test_case "single-threaded driver" `Quick
             test_blockdev_single_threaded;
-          Alcotest.test_case "seek costs" `Quick test_blockdev_seek_costs ] );
+          Alcotest.test_case "seek costs" `Quick test_blockdev_seek_costs;
+          Alcotest.test_case "read faults + retry" `Quick
+            test_blockdev_read_faults_and_retry ] );
       ( "bcache",
         [ Alcotest.test_case "roundtrip" `Quick test_bcache_roundtrip;
           Alcotest.test_case "eviction writeback" `Quick
@@ -944,6 +1033,8 @@ let () =
         [ Alcotest.test_case "restart on crash" `Quick test_supervisor_restart;
           Alcotest.test_case "gives up" `Quick test_supervisor_gives_up;
           Alcotest.test_case "one_for_all" `Quick test_supervisor_one_for_all;
+          Alcotest.test_case "one_for_all shared protocol" `Quick
+            test_supervisor_one_for_all_shared_protocol;
           Alcotest.test_case "escalation kills siblings" `Quick
             test_supervisor_escalation_kills_siblings;
           Alcotest.test_case "window prunes old crashes" `Quick

@@ -137,6 +137,75 @@ let test_fabric_unknown_dst_dropped () =
   in
   ()
 
+let fault_counts ~seed () =
+  let duplicated = ref 0 and reordered = ref 0 and delayed = ref 0 in
+  let delivered = ref 0 in
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net =
+          Fabric.create ~latency:5_000 ~dup:0.25 ~reorder:0.25 ~delay:0.25
+            ~delay_cycles:15_000 ~seed ()
+        in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        for i = 1 to 300 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        Fiber.sleep 2_000_000;
+        let fs = Fabric.fault_stats net in
+        duplicated := fs.Fabric.duplicated;
+        reordered := fs.Fabric.reordered;
+        delayed := fs.Fabric.delayed;
+        delivered := Fabric.frames_delivered net)
+  in
+  (!duplicated, !reordered, !delayed, !delivered)
+
+let test_fabric_fault_knobs () =
+  let dup, reord, del, delivered = fault_counts ~seed:4 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicated some (%d)" dup)
+    true (dup > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "reordered some (%d)" reord)
+    true (reord > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "delayed some (%d)" del)
+    true (del > 0);
+  (* duplication adds deliveries on top of the 300 originals *)
+  Alcotest.(check int) "delivered = originals + duplicates"
+    (300 + dup) delivered;
+  let again = fault_counts ~seed:4 () in
+  Alcotest.(check bool) "same seed, same fault stream" true
+    (again = (dup, reord, del, delivered))
+
+let test_fabric_set_faults_mid_run () =
+  (* knobs opened then closed mid-run: frames after the window are
+     clean, so chaos windows can't bleed into the recovery phase *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:9 () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        Fabric.set_faults net ~dup:0.5 ();
+        for i = 1 to 100 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        Fiber.sleep 1_000_000;
+        let during = (Fabric.fault_stats net).Fabric.duplicated in
+        Alcotest.(check bool) "window duplicated" true (during > 0);
+        Fabric.set_faults net ~dup:0.0 ();
+        for i = 101 to 200 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        Fiber.sleep 1_000_000;
+        Alcotest.(check int) "window closed: no further duplicates" during
+          (Fabric.fault_stats net).Fabric.duplicated)
+  in
+  ()
+
 (* ------------------------------------------------------------------ *)
 (* Stack                                                               *)
 
@@ -216,6 +285,43 @@ let test_reliable_call_over_loss () =
           (st.Stack.retransmissions > 0);
         (* exactly-once: despite retries, every request executed once *)
         Alcotest.(check int) "handler executed exactly once per call" 50
+          !executed)
+  in
+  ()
+
+let test_reliable_call_under_duplication () =
+  (* the fabric delivers extra copies of request frames; the server's
+     (peer, seq) dedup cache must replay the cached reply instead of
+     re-executing the handler *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~dup:0.5 ~seed:6 () in
+        let client = Stack.create net (Fabric.attach net ()) in
+        let server = Stack.create net (Fabric.attach net ()) in
+        let executed = ref 0 in
+        ignore
+          (Fiber.spawn ~daemon:true (fun () ->
+               Stack.serve server ~port:9 (fun ~src:_ req ->
+                   incr executed;
+                   "ok:" ^ req)));
+        for i = 1 to 40 do
+          match
+            Stack.call client
+              ~dst:(Stack.addr server)
+              ~port:9 (string_of_int i)
+          with
+          | Some r ->
+            Alcotest.(check string) "right reply" ("ok:" ^ string_of_int i) r
+          | None -> Alcotest.failf "call %d gave up on a lossless fabric" i
+        done;
+        Fiber.sleep 1_000_000;
+        let st = Stack.rel_stats server in
+        Alcotest.(check bool)
+          (Printf.sprintf "duplicates suppressed server-side (%d)"
+             st.Stack.duplicates_served)
+          true
+          (st.Stack.duplicates_served > 0);
+        Alcotest.(check int) "handler executed exactly once per call" 40
           !executed)
   in
   ()
@@ -427,6 +533,10 @@ let () =
             test_fabric_zero_loss_invariant;
           Alcotest.test_case "loss deterministic" `Quick
             test_fabric_loss_deterministic;
+          Alcotest.test_case "dup/reorder/delay knobs" `Quick
+            test_fabric_fault_knobs;
+          Alcotest.test_case "set_faults mid-run" `Quick
+            test_fabric_set_faults_mid_run;
           QCheck_alcotest.to_alcotest
             prop_lossless_fabric_delivers_everything ] );
       ( "stack",
@@ -437,6 +547,8 @@ let () =
             test_reliable_call_clean_network;
           Alcotest.test_case "call over 30% loss" `Quick
             test_reliable_call_over_loss;
+          Alcotest.test_case "call under duplication" `Quick
+            test_reliable_call_under_duplication;
           Alcotest.test_case "dedup cache bounded" `Quick
             test_dedup_cache_bounded;
           Alcotest.test_case "port reject recovered by retry" `Quick
