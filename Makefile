@@ -1,4 +1,5 @@
-.PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard
+.PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard \
+	replay-smoke
 
 all: build
 
@@ -60,4 +61,25 @@ chaos-smoke:
 bench-guard:
 	scripts/bench_guard
 
-ci: build test fmt doc lint-loops chaos-smoke
+# Time-travel replay determinism gate: replay a pinned chaos schedule
+# (a known kill-point reproducer) to a fixed virtual time and require
+# the snapshot to match the checked-in golden byte-for-byte, then diff
+# the schedule against its one-fault-dropped neighbour and require a
+# first-divergence report.  Catches both nondeterminism regressions
+# and accidental snapshot format drift (regenerate the golden with the
+# first command below if the drift is intentional).
+REPLAY_SCHED := seed=69 kill-point(chaos.store)@386220+78492 kill-point(chaos.store)@319877+182563
+replay-smoke:
+	@dune exec bin/chorus_sim.exe -- replay --scenario disk \
+		--schedule '$(REPLAY_SCHED)' --at 300000 > _build/replay_smoke.txt; \
+	if ! diff -u test/golden/replay_disk_t300000.txt _build/replay_smoke.txt; then \
+		echo "replay-smoke: snapshot drifted from the golden (diff above)"; \
+		exit 1; \
+	fi; \
+	dune exec bin/chorus_sim.exe -- replay --scenario disk \
+		--schedule '$(REPLAY_SCHED)' --at 450000 --diff --drop 1 \
+		| grep -q 'first diverging trace event' \
+		|| { echo "replay-smoke: --diff reported no divergence"; exit 1; }; \
+	echo "replay-smoke: OK"
+
+ci: build test fmt doc lint-loops chaos-smoke replay-smoke

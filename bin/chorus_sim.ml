@@ -95,6 +95,43 @@ let run_cmd =
     Term.(const run $ ids_arg $ full_arg $ seed_arg $ csv_arg)
 
 (* --------------------------------------------------------------- *)
+(* shared bits: --json rendering via the Inspect value type          *)
+
+let json_arg =
+  let doc = "Emit one JSON object instead of tables (jq-composable)." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let value_of_record (r : Chorus.Trace.record) =
+  let module Trace = Chorus.Trace in
+  let open Chorus.Inspect in
+  let ev, fields =
+    match r.Trace.event with
+    | Trace.Spawn { child; on_core } ->
+      ("spawn", [ ("child", Int child); ("on_core", Int on_core) ])
+    | Trace.Exit { status } -> ("exit", [ ("status", String status) ])
+    | Trace.Block { on } -> ("block", [ ("on", String on) ])
+    | Trace.Wake -> ("wake", [])
+    | Trace.Send { chan; words; src; dst } ->
+      ( "send",
+        [ ("chan", Int chan); ("words", Int words); ("src", Int src);
+          ("dst", Int dst) ] )
+    | Trace.Recv { chan } -> ("recv", [ ("chan", Int chan) ])
+    | Trace.Steal { victim_core; fiber } ->
+      ("steal", [ ("victim_core", Int victim_core); ("stolen", Int fiber) ])
+    | Trace.Span_begin { subsystem; span } ->
+      ("span_begin", [ ("subsystem", String subsystem); ("span", String span) ])
+    | Trace.Span_end { subsystem; span } ->
+      ("span_end", [ ("subsystem", String subsystem); ("span", String span) ])
+    | Trace.Segment { start; label } ->
+      ("segment", [ ("start", Int start); ("label", String label) ])
+    | Trace.Custom s -> ("custom", [ ("note", String s) ])
+  in
+  Assoc
+    ([ ("time", Int r.Trace.time); ("core", Int r.Trace.core);
+       ("fiber", Int r.Trace.fiber); ("event", String ev) ]
+    @ fields)
+
+(* --------------------------------------------------------------- *)
 (* trace: watch the kernel do one file operation, event by event     *)
 
 let trace_cmd =
@@ -105,6 +142,14 @@ let trace_cmd =
   let limit_arg =
     Arg.(value & opt int 80 & info [ "limit" ] ~doc:"Max records to print.")
   in
+  let ring_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "ring" ]
+          ~doc:
+            "Trace ring capacity: most recent records kept; the count of \
+             dropped older records is always reported.")
+  in
   let chrome_arg =
     Arg.(
       value
@@ -114,13 +159,13 @@ let trace_cmd =
             "Also export the full trace as Chrome trace-event JSON \
              (open in about://tracing or ui.perfetto.dev).")
   in
-  let go limit chrome =
+  let go limit capacity json chrome =
     let module Machine = Chorus_machine.Machine in
     let module Runtime = Chorus.Runtime in
     let module Trace = Chorus.Trace in
     let module Kernel = Chorus_kernel.Kernel in
     let module Msgvfs = Chorus_kernel.Msgvfs in
-    let sink, get = Trace.collector () in
+    let sink, get, dropped = Trace.ring ~capacity () in
     let stats =
       Runtime.run
         (Runtime.config ~trace:sink ~seed:1 (Machine.mesh ~cores:8))
@@ -136,26 +181,46 @@ let trace_cmd =
           | Error _ -> ())
     in
     let records = get () in
-    Printf.printf
-      "mkdir + create + open + write + read through the message kernel\n\
-       (%d trace records total; showing the first %d)\n\n"
-      (List.length records) limit;
-    List.iteri
-      (fun i r ->
-        if i < limit then
-          Format.printf "%a@." Trace.pp_record r)
-      records;
-    Printf.printf "\n%d virtual cycles, %d messages, %d fibers spawned\n"
-      stats.Chorus.Runstats.makespan stats.Chorus.Runstats.msgs
-      stats.Chorus.Runstats.spawns;
+    let dropped = dropped () in
+    if json then
+      print_endline
+        (Chorus.Inspect.to_json
+           (Chorus.Inspect.Assoc
+              [ ("records",
+                 Chorus.Inspect.List (List.map value_of_record records));
+                ("dropped", Chorus.Inspect.Int dropped);
+                ("makespan",
+                 Chorus.Inspect.Int stats.Chorus.Runstats.makespan);
+                ("msgs", Chorus.Inspect.Int stats.Chorus.Runstats.msgs);
+                ("spawns", Chorus.Inspect.Int stats.Chorus.Runstats.spawns) ]))
+    else begin
+      Printf.printf
+        "mkdir + create + open + write + read through the message kernel\n\
+         (%d trace records retained%s; showing the first %d)\n\n"
+        (List.length records)
+        (if dropped > 0 then
+           Printf.sprintf ", %d dropped by the ring (raise --ring)" dropped
+         else "")
+        limit;
+      List.iteri
+        (fun i r ->
+          if i < limit then
+            Format.printf "%a@." Trace.pp_record r)
+        records;
+      Printf.printf "\n%d virtual cycles, %d messages, %d fibers spawned\n"
+        stats.Chorus.Runstats.makespan stats.Chorus.Runstats.msgs
+        stats.Chorus.Runstats.spawns
+    end;
     match chrome with
     | None -> ()
     | Some file ->
       Chorus_obs.Chrome_trace.write_file file records;
-      Printf.printf "wrote %d records to %s (Chrome trace-event JSON)\n"
-        (List.length records) file
+      if not json then
+        Printf.printf "wrote %d records to %s (Chrome trace-event JSON)\n"
+          (List.length records) file
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const go $ limit_arg $ chrome_arg)
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const go $ limit_arg $ ring_arg $ json_arg $ chrome_arg)
 
 (* --------------------------------------------------------------- *)
 (* profile: run one experiment with metrics + tracing switched on     *)
@@ -193,7 +258,7 @@ let profile_cmd =
     if total <= 0 then "-"
     else Printf.sprintf "%.1f%%" (100. *. float cycles /. float total)
   in
-  let go id full seed capacity chrome =
+  let go id full seed capacity json chrome =
     match Experiments.find id with
     | None ->
       Printf.eprintf "unknown experiment %S (try 'list')\n" id;
@@ -213,13 +278,58 @@ let profile_cmd =
              let sink, get, dropped = Trace.ring ~capacity () in
              rings := (get, dropped) :: !rings;
              sink));
-      Printf.printf "--- profiling %s: %s ---\nclaim: %s\n%!"
-        (String.uppercase_ascii e.Experiments.id)
-        e.Experiments.title e.Experiments.claim;
+      if not json then
+        Printf.printf "--- profiling %s: %s ---\nclaim: %s\n%!"
+          (String.uppercase_ascii e.Experiments.id)
+          e.Experiments.title e.Experiments.claim;
       let _tables = e.Experiments.run ~quick:(not full) ~seed in
       Runtime.set_default_trace None;
       Metrics.uninstall ();
       let snap = Metrics.snapshot reg in
+      if json then begin
+        let open Chorus.Inspect in
+        let best =
+          List.fold_left
+            (fun acc (get, dropped) ->
+              let records = get () in
+              let n = List.length records in
+              match acc with
+              | Some (_, bn, _) when bn >= n -> acc
+              | _ -> Some (records, n, dropped ()))
+            None !rings
+        in
+        let fibers, messages, dropped, nrecords =
+          match best with
+          | None -> ([], 0, 0, 0)
+          | Some (records, n, dropped) ->
+            let p = Profile.of_records records in
+            let fibers =
+              List.map
+                (fun f ->
+                  Assoc
+                    [ ("fid", Int f.Profile.fid);
+                      ("label", String f.Profile.label);
+                      ("busy", Int f.Profile.busy);
+                      ("blocked", Int f.Profile.blocked);
+                      ("sent", Int f.Profile.sent);
+                      ("recvd", Int f.Profile.received) ])
+                p.Profile.fibers
+            in
+            (fibers, Profile.messages p, dropped, n)
+        in
+        print_endline
+          (to_json
+             (Assoc
+                [ ("experiment", String e.Experiments.id);
+                  ("metrics", Chorus_debug.Snapshot.value_of_metrics snap);
+                  ("trace",
+                   Assoc
+                     [ ("runs", Int (List.length !rings));
+                       ("records", Int nrecords); ("dropped", Int dropped) ]);
+                  ("messages", Int messages);
+                  ("fibers", List fibers) ]));
+        exit 0
+      end;
       let lat =
         Tablefmt.create ~title:"service latency (virtual cycles)"
           ~columns:
@@ -339,7 +449,9 @@ let profile_cmd =
             n file)
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const go $ id_arg $ full_arg $ seed_arg $ ring_arg $ chrome_arg)
+    Term.(
+      const go $ id_arg $ full_arg $ seed_arg $ ring_arg $ json_arg
+      $ chrome_arg)
 
 (* --------------------------------------------------------------- *)
 (* cluster: drive the sharded replicated KV cluster                   *)
@@ -548,6 +660,183 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const go $ disk_arg $ kv_arg $ selftest_arg $ seed_arg)
 
+(* --------------------------------------------------------------- *)
+(* replay: time-travel debugging over the chaos scenarios            *)
+
+let replay_cmd =
+  let doc =
+    "Time-travel replay: drive a chaos scenario deterministically to \
+     virtual time T and dump a snapshot of the complete live state \
+     (run queues, fiber states, channel and inbox occupancy, raft \
+     terms, metrics).  With $(b,--diff), execute two runs to the same \
+     T and report the first diverging trace event plus a structural \
+     state diff — point it at a shrunk reproducer and its passing \
+     neighbour to see where the executions part ways."
+  in
+  let module Chaos = Chorus_chaos.Chaos in
+  let module Schedule = Chorus_chaos.Schedule in
+  let module Snapshot = Chorus_debug.Snapshot in
+  let module Replay = Chorus_debug.Replay in
+  let scenario_arg =
+    Arg.(
+      value & opt string "disk"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Chaos scenario: $(b,disk) or $(b,cluster) (alias $(b,kv)).")
+  in
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "index" ]
+          ~doc:
+            "Campaign schedule index (with --seed); 0 is the fault-free \
+             schedule.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Explicit schedule in reproducer syntax (as printed by chaos \
+             violation reports), overriding --seed/--index.  Example: \
+             'seed=7 disk(p=0.30)@200000+150000'.")
+  in
+  let at_arg =
+    Arg.(
+      value & opt int 300_000
+      & info [ "at" ] ~docv:"T" ~doc:"Virtual time (cycles) to pause at.")
+  in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Compare against a second run (see --against / --drop) at the \
+             same T.")
+  in
+  let against_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"SCHED"
+          ~doc:"Second schedule for --diff, in reproducer syntax.")
+  in
+  let drop_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "drop" ] ~docv:"K"
+          ~doc:
+            "Second schedule for --diff = first schedule with fault K \
+             (0-based) deleted; default drops the last fault.")
+  in
+  let parse_schedule what s =
+    try Schedule.of_string s
+    with Invalid_argument m ->
+      Printf.eprintf "bad %s: %s\n" what m;
+      exit 2
+  in
+  let go scenario seed index schedule at diff against drop json =
+    let scen =
+      match scenario with
+      | "disk" -> Chaos.Disk
+      | "cluster" | "kv" -> Chaos.Kv
+      | s ->
+        Printf.eprintf "unknown scenario %S (disk|cluster)\n" s;
+        exit 2
+    in
+    let sch =
+      match schedule with
+      | Some s -> parse_schedule "--schedule" s
+      | None -> Chaos.gen scen ~seed ~index
+    in
+    if not diff then begin
+      let r = Replay.run_to scen sch ~at in
+      if json then print_endline (Snapshot.to_json r.Replay.snapshot)
+      else begin
+        Printf.printf "replay %s  %s\npaused at t=%d  (%d trace records)\n"
+          (match scen with Chaos.Disk -> "disk" | Chaos.Kv -> "cluster")
+          (Schedule.to_string sch) at
+          (List.length r.Replay.trace);
+        print_string (Snapshot.render r.Replay.snapshot)
+      end
+    end
+    else begin
+      let sch_b =
+        match (against, drop) with
+        | Some s, _ -> parse_schedule "--against" s
+        | None, k -> (
+          let subs = Schedule.subschedules sch in
+          let n = List.length subs in
+          match k with
+          | Some k when k < 0 || k >= n ->
+            Printf.eprintf "--drop %d out of range (schedule has %d faults)\n"
+              k n;
+            exit 2
+          | Some k -> List.nth subs k
+          | None -> (
+            match List.rev subs with
+            | s :: _ -> s
+            | [] ->
+              Printf.eprintf
+                "--diff needs a second run, but the schedule has no faults \
+                 to drop; pass --against SCHED\n";
+              exit 2))
+      in
+      let c = Replay.compare_runs scen sch sch_b ~at in
+      if json then begin
+        let open Chorus.Inspect in
+        let div =
+          match c.Replay.divergence with
+          | None -> Null
+          | Some d ->
+            let side = function
+              | None -> Null
+              | Some r -> value_of_record r
+            in
+            Assoc
+              [ ("index", Int d.Replay.index); ("a", side d.Replay.left);
+                ("b", side d.Replay.right) ]
+        in
+        print_endline
+          (to_json
+             (Assoc
+                [ ("at", Int at);
+                  ("schedule_a", String (Schedule.to_string sch));
+                  ("schedule_b", String (Schedule.to_string sch_b));
+                  ("trace_a_records", Int (List.length c.Replay.run_a.Replay.trace));
+                  ("trace_b_records", Int (List.length c.Replay.run_b.Replay.trace));
+                  ("divergence", div);
+                  ("state_diff",
+                   Snapshot.value_of_diff c.Replay.state_diff) ]))
+      end
+      else begin
+        Printf.printf "replay --diff at t=%d\n  A: %s\n  B: %s\n\n" at
+          (Schedule.to_string sch)
+          (Schedule.to_string sch_b);
+        (match c.Replay.divergence with
+        | None ->
+          Printf.printf "traces identical (%d records)\n"
+            (List.length c.Replay.run_a.Replay.trace)
+        | Some d ->
+          Printf.printf
+            "first diverging trace event at record #%d\n  A: %s\n  B: %s\n"
+            d.Replay.index
+            (Replay.pp_record_str d.Replay.left)
+            (Replay.pp_record_str d.Replay.right));
+        match c.Replay.state_diff with
+        | [] -> Printf.printf "\nstates identical at t=%d\n" at
+        | entries ->
+          Printf.printf "\nstate diff (%d paths):\n%s" (List.length entries)
+            (Snapshot.render_diff entries)
+      end
+    end
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const go $ scenario_arg $ seed_arg $ index_arg $ schedule_arg $ at_arg
+      $ diff_arg $ against_arg $ drop_arg $ json_arg)
+
 let () =
   let doc =
     "Chorus: a message-passing multicore OS simulator (HotOS XIII \
@@ -557,4 +846,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; profile_cmd; cluster_cmd; chaos_cmd ]))
+          [ list_cmd; run_cmd; trace_cmd; profile_cmd; cluster_cmd; chaos_cmd;
+            replay_cmd ]))

@@ -143,18 +143,28 @@ let disk_op_timeout = 400_000
 
 let disk_recovery_bound = 800_000
 
-let run_disk ~corrupt (sch : Schedule.t) =
+(* A scenario split into its three replayable phases: the engine
+   configuration, the body to run on it, and the oracle/digest
+   assembly.  run_one composes all three; the time-travel debugger
+   (lib/debug) instead drives pmain through Engine.start/run_until and
+   never calls pfinish. *)
+type prepared = {
+  pconfig : Runtime.config;
+  pmain : unit -> unit;
+  pfinish : unit -> outcome;
+}
+
+let prepare_disk ~corrupt (sch : Schedule.t) =
   let hist = History.create () in
   let injected = ref 0 in
   let viols = ref [] in
   let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
   let tail = Buffer.create 128 in
-  Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
-  let (_ : Chorus.Runstats.t) =
-    Runtime.run
-      (Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
-         (Machine.mesh ~cores:8))
-      (fun () ->
+  let pconfig =
+    Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
+      (Machine.mesh ~cores:8)
+  in
+  let pmain () =
         let dev = Blockdev.start ~disk:Diskmodel.default () in
         let cache = Bcache.start ~shards:2 ~capacity:64 ~dev () in
         let ep : (store_req, store_resp) Svc.t =
@@ -322,9 +332,16 @@ let run_disk ~corrupt (sch : Schedule.t) =
         Buffer.add_string tail
           (Printf.sprintf "injected=%d read_errors=%d retries=%d restarts=%d live=%d end=%d\n"
              !injected (Blockdev.read_errors dev) (Bcache.read_retries cache)
-             (Supervisor.restarts sup) end_live (Fiber.now ())))
+             (Supervisor.restarts sup) end_live (Fiber.now ()))
   in
-  finish ~hist ~tail ~viols ~injected
+  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+
+let run_prepared p =
+  Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
+  let (_ : Chorus.Runstats.t) = Runtime.run p.pconfig p.pmain in
+  p.pfinish ()
+
+let run_disk ~corrupt sch = run_prepared (prepare_disk ~corrupt sch)
 
 (* ------------------------------------------------------------------ *)
 (* Kv scenario: the replicated cluster over a faulty fabric            *)
@@ -335,18 +352,17 @@ let kv_node_deadline = 3_000_000
 
 let kv_probe_deadline = 2_000_000
 
-let run_kv ~corrupt (sch : Schedule.t) =
+let prepare_kv ~corrupt (sch : Schedule.t) =
   let hist = History.create () in
   let injected = ref 0 in
   let viols = ref [] in
   let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
   let tail = Buffer.create 128 in
-  Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
-  let (_ : Chorus.Runstats.t) =
-    Runtime.run
-      (Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
-         (Machine.mesh ~cores:16))
-      (fun () ->
+  let pconfig =
+    Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
+      (Machine.mesh ~cores:16)
+  in
+  let pmain () =
         let net = Fabric.create ~latency:5_000 ~seed:(sch.Schedule.seed + 1) () in
         let c =
           Cluster.create ~nshards:2 ~replication:3 ~seed:sch.Schedule.seed
@@ -489,9 +505,16 @@ let run_kv ~corrupt (sch : Schedule.t) =
              !injected
              (Cluster.elections_started c)
              (Cluster.leader_changes c) (Cluster.node_crashes c)
-             (Cluster.restarts c) end_live (Fiber.now ())))
+             (Cluster.restarts c) end_live (Fiber.now ()))
   in
-  finish ~hist ~tail ~viols ~injected
+  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+
+let run_kv ~corrupt sch = run_prepared (prepare_kv ~corrupt sch)
+
+let prepare ?(corrupt = false) scenario sch =
+  match scenario with
+  | Disk -> prepare_disk ~corrupt sch
+  | Kv -> prepare_kv ~corrupt sch
 
 let run_one ?(corrupt = false) scenario sch =
   match scenario with

@@ -52,6 +52,25 @@ type outcome = {
   ops : int;  (** client operations recorded in the history *)
 }
 
+type prepared = {
+  pconfig : Chorus.Runtime.config;
+      (** engine configuration for the scenario (no trace sink) *)
+  pmain : unit -> unit;
+      (** the scenario body: boot, fault injection, workload, oracles *)
+  pfinish : unit -> outcome;
+      (** assemble digest + violations — only meaningful after [pmain]
+          ran to completion under {!Chorus.Runtime.run} *)
+}
+
+val prepare : ?corrupt:bool -> scenario -> Schedule.t -> prepared
+(** The scenario split into its replayable phases.  [run_one] is
+    [prepare] composed with a full run; the time-travel debugger
+    ({!Chorus_debug.Replay}) instead drives [pmain] through
+    {!Chorus.Engine.start} / {!Chorus.Engine.run_until} to pause at an
+    arbitrary virtual time and snapshot live state.  A caller that
+    does not run [pmain] to completion must clear the ambient
+    crash-point hook ({!Chorus_svc.Svc.set_crashpoint}) itself. *)
+
 val run_one : ?corrupt:bool -> scenario -> Schedule.t -> outcome
 (** Run one schedule and check every oracle.  [corrupt] (default
     false) appends a fabricated read of a never-written value to the

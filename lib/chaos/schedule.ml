@@ -42,6 +42,59 @@ let to_string t =
      | [] -> [ "(no faults)" ]
      | fs -> List.map fault_to_string fs))
 
+let fault_of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Schedule.of_string: bad fault %S" s) in
+  let parse head =
+    match head with
+    | "kill-node" ->
+      Scanf.sscanf s "kill-node(%d)@%d%!" (fun node at -> Kill_node { node; at })
+    | "kill-point" ->
+      Scanf.sscanf s "kill-point(%[^)])@%d+%d%!" (fun point at dur ->
+          Kill_point { point; at; dur })
+    | "loss" ->
+      Scanf.sscanf s "loss(p=%f)@%d+%d%!" (fun p at dur ->
+          Frame_loss { at; dur; p })
+    | "dup" ->
+      Scanf.sscanf s "dup(p=%f)@%d+%d%!" (fun p at dur ->
+          Frame_dup { at; dur; p })
+    | "reorder" ->
+      Scanf.sscanf s "reorder(p=%f)@%d+%d%!" (fun p at dur ->
+          Frame_reorder { at; dur; p })
+    | "delay" ->
+      Scanf.sscanf s "delay(p=%f,%dcy)@%d+%d%!" (fun p cycles at dur ->
+          Frame_delay { at; dur; p; cycles })
+    | "disk" ->
+      Scanf.sscanf s "disk(p=%f)@%d+%d%!" (fun p at dur ->
+          Disk_errors { at; dur; p })
+    | _ -> fail ()
+  in
+  match String.index_opt s '(' with
+  | None -> fail ()
+  | Some i -> (
+    try parse (String.sub s 0 i) with
+    | Scanf.Scan_failure _ | End_of_file | Failure _ -> fail ())
+
+let of_string str =
+  let toks =
+    String.split_on_char ' ' (String.trim str)
+    |> List.filter (fun t -> t <> "")
+  in
+  match toks with
+  | [] -> invalid_arg "Schedule.of_string: empty schedule"
+  | seedtok :: rest ->
+    let seed =
+      try Scanf.sscanf seedtok "seed=%d%!" Fun.id
+      with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+        invalid_arg
+          (Printf.sprintf "Schedule.of_string: expected seed=N, got %S" seedtok)
+    in
+    let faults =
+      match rest with
+      | [ "(no"; "faults)" ] | [] -> []
+      | fs -> List.map fault_of_string fs
+    in
+    { seed; faults }
+
 let subschedules t =
   List.mapi
     (fun i _ ->

@@ -40,6 +40,15 @@ val to_string : t -> string
     [seed=7 kill-point(chaos.store)@120000+80000 disk(p=0.30)@200000+150000]
     — what a violation report prints as the reproducer. *)
 
+val of_string : string -> t
+(** Parse {!to_string}'s format back into a schedule, so a reproducer
+    printed by a violation report (or pasted into
+    [chorus_sim replay --schedule]) is directly runnable.  Raises
+    [Invalid_argument] on malformed input.  Round-trip guarantee:
+    [to_string (of_string (to_string s)) = to_string s] (probabilities
+    are printed with two decimals, so the printed form is the
+    canonical one). *)
+
 val subschedules : t -> t list
 (** Every schedule obtained by deleting exactly one fault (same seed,
     same order otherwise) — the shrinking neighbourhood. *)

@@ -105,6 +105,49 @@ let create ?raft ?notify ?overload ~nshards ~replication ~seed ~nnodes fabric =
       crashes = 0 }
   in
   t_ref := Some t;
+  (* Snapshot hooks: one provider per node walking its replicas.  The
+     raft state machines survive node restarts (log and term model
+     stable storage), so these thunks stay valid across crash cycles. *)
+  Array.iter
+    (fun node ->
+      Chorus.Inspect.register
+        ~name:(Printf.sprintf "cluster/node%d" node.addr)
+        (fun () ->
+          let open Chorus.Inspect in
+          Assoc
+            [ ("up", Bool node.up);
+              ("incarnation", Int node.incarnation);
+              ("inflight", Int node.inflight);
+              ("shards",
+               List
+                 (List.map
+                    (fun (shard, r) ->
+                      Assoc
+                        [ ("shard", Int shard);
+                          ("role",
+                           String
+                             (match Raft.role r with
+                             | Raft.Follower -> "follower"
+                             | Raft.Candidate -> "candidate"
+                             | Raft.Leader -> "leader"));
+                          ("term", Int (Raft.term r));
+                          ("commit_index", Int (Raft.commit_index r));
+                          ("log_length", Int (Raft.log_length r));
+                          ("applied", Int (Raft.applied r));
+                          ("leader_hint", Int (Raft.leader_hint r)) ])
+                    node.rafts)) ]))
+    t.nodes;
+  Chorus.Inspect.register ~name:"cluster/summary" (fun () ->
+      let open Chorus.Inspect in
+      Assoc
+        [ ("elections_started", Int t.elections);
+          ("leader_changes", Int t.leader_changes);
+          ("node_crashes", Int t.crashes);
+          ("nodes_up",
+           Int
+             (Array.fold_left
+                (fun acc n -> if n.up then acc + 1 else acc)
+                0 t.nodes)) ]);
   t
 
 (* ------------------------------------------------------------------ *)

@@ -51,8 +51,34 @@ let make_chan cap label =
   let chlabel =
     match label with Some l -> l | None -> Printf.sprintf "chan-%d" chid
   in
-  { chid; chlabel; cap; buf = Queue.create (); txq = Deque.create ();
-    rxq = Deque.create (); closed = false }
+  let c =
+    { chid; chlabel; cap; buf = Queue.create (); txq = Deque.create ();
+      rxq = Deque.create (); closed = false }
+  in
+  (* Only explicitly labelled channels register with the snapshot
+     layer: anonymous one-shots (reply channels) would swamp the
+     registry without naming anything a debugger can recognise.
+     Registration is host-side only — no charge, no trace event. *)
+  (match label with
+  | None -> ()
+  | Some _ ->
+    Inspect.register ~name:(Printf.sprintf "chan/%s#%d" c.chlabel c.chid)
+      (fun () ->
+        let live_tx = ref 0 and live_rx = ref 0 in
+        Deque.iter (fun tx -> if tx.tx_live () then incr live_tx) c.txq;
+        Deque.iter (fun rx -> if rx.rx_live () then incr live_rx) c.rxq;
+        Inspect.Assoc
+          [ ("queued", Inspect.Int (Queue.length c.buf));
+            ("capacity",
+             Inspect.Int
+               (match c.cap with
+               | Rendezvous -> 0
+               | Bounded n -> n
+               | Unbounded -> -1));
+            ("waiting_senders", Inspect.Int !live_tx);
+            ("waiting_receivers", Inspect.Int !live_rx);
+            ("closed", Inspect.Bool c.closed) ]));
+  c
 
 let rendezvous ?label () = make_chan Rendezvous label
 

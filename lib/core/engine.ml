@@ -507,32 +507,129 @@ let deadlock_report t =
     (List.rev t.fibers);
   Buffer.contents buf
 
-let run t main =
+let start t main =
   if !current_engine <> None then
-    failwith "Engine.run: nested runs are not supported";
+    failwith "Engine.start: nested runs are not supported";
   current_engine := Some t;
-  let cleanup () = current_engine := None in
-  Fun.protect ~finally:cleanup (fun () ->
-      let (_ : fiber) = spawn t ~on:0 ~label:"main" main in
-      let rec loop () =
-        match Pqueue.pop t.events with
-        | None -> ()
-        | Some ((time, _), thunk) ->
-          t.now <- time;
-          if time > t.horizon then t.horizon <- time;
-          t.cnt.events <- t.cnt.events + 1;
-          if t.config.max_events > 0 && t.cnt.events > t.config.max_events
-          then begin
-            (* a crashed main plus looping daemons would otherwise hide
-               the real error behind the cap failure *)
-            match t.main_crash with
-            | Some e -> raise e
-            | None ->
-              failwith "Engine.run: event cap exceeded (runaway loop?)"
-          end;
-          thunk ();
-          loop ()
-      in
-      loop ();
+  Inspect.reset ();
+  let (_ : fiber) = spawn t ~on:0 ~label:"main" main in
+  ()
+
+let stop t =
+  match !current_engine with
+  | Some u when u == t -> current_engine := None
+  | Some _ | None -> ()
+
+let step_until t limit =
+  let rec loop () =
+    match Pqueue.min t.events with
+    | None -> ()
+    | Some ((time, _), _) when time > limit -> ()
+    | Some _ ->
+      let (time, _), thunk = Pqueue.pop_exn t.events in
+      t.now <- time;
+      if time > t.horizon then t.horizon <- time;
+      t.cnt.events <- t.cnt.events + 1;
+      if t.config.max_events > 0 && t.cnt.events > t.config.max_events
+      then begin
+        (* a crashed main plus looping daemons would otherwise hide
+           the real error behind the cap failure *)
+        match t.main_crash with
+        | Some e -> raise e
+        | None -> failwith "Engine.run: event cap exceeded (runaway loop?)"
+      end;
+      thunk ();
+      loop ()
+  in
+  loop ()
+
+let run_until t limit =
+  (match !current_engine with
+  | Some u when u == t -> ()
+  | Some _ | None ->
+    failwith "Engine.run_until: engine not started (call Engine.start)");
+  step_until t limit
+
+let drained t = Pqueue.is_empty t.events
+
+let pending_events t = Pqueue.length t.events
+
+let finish t =
+  Fun.protect
+    ~finally:(fun () -> stop t)
+    (fun () ->
+      step_until t max_int;
       (match t.main_crash with Some e -> raise e | None -> ());
       if t.live_nondaemon > 0 then raise (Deadlock (deadlock_report t)))
+
+let run t main =
+  start t main;
+  finish t
+
+(* ------------------------------------------------------------------ *)
+(* Introspection snapshot                                              *)
+
+let state_name = function
+  | Created -> "created"
+  | Runnable -> "runnable"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Done -> "done"
+
+let inspect t =
+  let open Inspect in
+  let fiber_ref f =
+    Assoc [ ("fid", Int f.fid); ("label", String f.label) ]
+  in
+  let core_v c =
+    Assoc
+      [ ("core", Int c.cid);
+        ("free_at", Int c.free_at);
+        ("busy", Int c.busy);
+        ("pending", Int c.pending);
+        ("runq",
+         List
+           (List.map (fun (f, _) -> fiber_ref f) (Deque.to_list c.runq)))
+      ]
+  in
+  let fiber_v f =
+    Assoc
+      [ ("fid", Int f.fid);
+        ("label", String f.label);
+        ("core", Int f.core);
+        ("state", String (state_name f.state));
+        ("wait", String f.wait_tag);
+        ("prio", String (match f.prio with High -> "high" | Normal -> "normal"));
+        ("daemon", Bool f.daemon)
+      ]
+  in
+  let live_fibers =
+    List.filter alive t.fibers
+    |> List.sort (fun a b -> compare a.fid b.fid)
+  in
+  Assoc
+    [ ("now", Int t.now);
+      ("horizon", Int t.horizon);
+      ("seed", Int t.config.seed);
+      ("machine", String (Machine.describe t.machine));
+      ("machine_facts",
+       Assoc (List.map (fun (k, v) -> (k, Int v)) (Machine.facts t.machine)));
+      ("events_pending", Int (Pqueue.length t.events));
+      ("live_fibers", Int t.live);
+      ("live_nondaemon", Int t.live_nondaemon);
+      ("counters",
+       Assoc
+         [ ("msgs", Int t.cnt.msgs);
+           ("remote_msgs", Int t.cnt.remote_msgs);
+           ("words_copied", Int t.cnt.words_copied);
+           ("hops", Int t.cnt.hops);
+           ("spawns", Int t.cnt.spawns);
+           ("steals", Int t.cnt.steals);
+           ("segments", Int t.cnt.segments);
+           ("events", Int t.cnt.events);
+           ("wakes", Int t.cnt.wakes);
+           ("retries", Int t.cnt.retries)
+         ]);
+      ("cores", List (Array.to_list (Array.map core_v t.cores)));
+      ("fibers", List (List.map fiber_v live_fibers))
+    ]

@@ -62,6 +62,59 @@ val current : unit -> t
 (** The engine executing the calling fiber.  Raises [Failure] outside
     of [run]. *)
 
+(** {1 Stepped execution (the time-travel replay surface)}
+
+    [run t main] is equivalent to [start t main; finish t].  A replay
+    driver instead interleaves {!run_until} with state inspection:
+
+    {[
+      Engine.start t main;
+      Engine.run_until t 250_000;   (* pause at virtual time 250k *)
+      ... Engine.inspect t ...      (* look around *)
+      Engine.run_until t 400_000;   (* resume to 400k *)
+      Engine.stop t                 (* abandon, or [finish t] to drain *)
+    ]}
+
+    While paused, no fiber is mid-segment: every event with time <=
+    the limit has been processed and the next pending event (if any)
+    lies strictly after it, so inspected state is the complete
+    machine state "at end of cycle T". *)
+
+val start : t -> (unit -> unit) -> unit
+(** Spawn [main] as fiber 0 on core 0 and make [t] the current engine
+    without processing any event.  Clears the {!Inspect} provider
+    registry.  Fails if another run is in progress. *)
+
+val run_until : t -> int -> unit
+(** [run_until t limit] processes every pending event with virtual
+    time <= [limit], then returns.  Resumable: a later call with a
+    larger limit continues exactly where this one stopped.  Raises like
+    {!run} on the event cap; deadlock checking is deferred to
+    {!finish} (a paused run legitimately has blocked fibers).  Fails
+    unless [t] was {!start}ed. *)
+
+val finish : t -> unit
+(** Drain every remaining event, then apply {!run}'s end-of-run
+    checks (main-fiber crash re-raise, deadlock detection) and release
+    the current-engine slot. *)
+
+val stop : t -> unit
+(** Abandon a stepped run: release the current-engine slot without
+    draining or checking anything.  Idempotent; a no-op when [t] is
+    not the current engine. *)
+
+val drained : t -> bool
+(** No events pending. *)
+
+val pending_events : t -> int
+
+val inspect : t -> Inspect.value
+(** The engine's own state as a structured value: time, machine,
+    statistics counters, per-core run queues (free_at, busy, queued
+    fibers) and every live fiber (label, core, state, wait tag).
+    Subsystem state (channels, services, raft) is reached through the
+    {!Inspect} provider registry instead. *)
+
 (** {1 Introspection} *)
 
 val machine : t -> Chorus_machine.Machine.t

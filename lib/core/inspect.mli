@@ -1,0 +1,53 @@
+(** Structured run-state introspection.
+
+    The time-travel debugger ({!Chorus_debug.Snapshot}) needs to walk
+    live state — channel occupancy, service inbox depths, raft terms —
+    into a typed, printable value while a run is paused at an arbitrary
+    virtual time ({!Engine.run_until}).  The subsystems that own that
+    state live above [lib/core], so this module inverts the dependency:
+    it defines the common {!value} tree plus a global {e provider
+    registry}, and each subsystem registers a thunk describing its own
+    objects as it creates them (a labelled channel in {!Chan}, an
+    endpoint in [Chorus_svc.Svc], a replica group in
+    [Chorus_cluster.Cluster]).
+
+    Providers are host-side only: registering one never charges cycles
+    or advances virtual time, so an inspected run is byte-identical to
+    an uninspected one.  The registry is cleared at the start of every
+    {!Engine.run} / {!Engine.start}, so providers never outlive the run
+    whose objects they describe. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Assoc of (string * value) list
+
+(** {1 Provider registry} *)
+
+val register : name:string -> (unit -> value) -> unit
+(** [register ~name f] adds a provider.  Use ["/"]-separated names
+    (["svc/chaos.store"], ["cluster/node2"]); {!snapshot} sorts by
+    name.  The thunk is called only when a snapshot is taken and must
+    not block, charge or suspend. *)
+
+val reset : unit -> unit
+(** Drop every provider (called by the engine at run start). *)
+
+val registered : unit -> int
+
+val snapshot : unit -> (string * value) list
+(** Evaluate every provider, sorted by name (stable for duplicates) —
+    deterministic for a deterministic run paused at a fixed time. *)
+
+(** {1 Rendering} *)
+
+val render : value -> string
+(** Stable indented text: one scalar per line, ["- "] list items,
+    two-space nesting.  Equal values render byte-identically. *)
+
+val to_json : value -> string
+(** Compact single-line JSON ([jq]-composable). *)

@@ -1,6 +1,19 @@
 type 'a t = { ch : 'a Chan.t; mutable stash : 'a list (* arrival order *) }
 
-let create ?label () = { ch = Chan.unbounded ?label (); stash = [] }
+let create ?label () =
+  let t = { ch = Chan.unbounded ?label (); stash = [] } in
+  (* labelled mailboxes report their own occupancy (stash + channel):
+     the inner channel's registration alone misses selective-receive
+     stashing *)
+  (match label with
+  | None -> ()
+  | Some l ->
+    Inspect.register ~name:(Printf.sprintf "mailbox/%s#%d" l (Chan.id t.ch))
+      (fun () ->
+        Inspect.Assoc
+          [ ("stashed", Inspect.Int (List.length t.stash));
+            ("queued", Inspect.Int (Chan.length t.ch)) ]));
+  t
 
 let send ?words t v = Chan.send ?words t.ch v
 

@@ -48,3 +48,14 @@ let hierarchy ~dies ~clusters ~cores_per_cluster =
 
 let describe t =
   Printf.sprintf "%s (%d cores)" (Topology.to_string t.topology) (cores t)
+
+let facts t =
+  let c = t.costs in
+  [ ("cores", cores t);
+    ("diameter", Topology.diameter t.topology);
+    ("msg_inject", c.Cost.msg_inject);
+    ("msg_per_hop", c.Cost.msg_per_hop);
+    ("msg_per_word", c.Cost.msg_per_word);
+    ("msg_receive", c.Cost.msg_receive);
+    ("cache_miss", c.Cost.cache_miss);
+    ("coherence_per_hop", c.Cost.coherence_per_hop) ]

@@ -48,3 +48,8 @@ val hierarchy : dies:int -> clusters:int -> cores_per_cluster:int -> t
 (** Multi-die package with software messages. *)
 
 val describe : t -> string
+
+val facts : t -> (string * int) list
+(** Introspection hook for state snapshots: the machine's shape and
+    headline cost constants as named integers (cores, topology
+    diameter, message/coherence costs), in a fixed order. *)

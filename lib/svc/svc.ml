@@ -81,7 +81,7 @@ let mk_chan cfg ~label =
 
 let wrap ~cfg ~subsystem ~metric_name ~label ~on_shed inbox =
   let mn = match metric_name with None -> "" | Some n -> n ^ "." in
-  {
+  let ep = {
     inbox;
     cfg;
     clabel = label;
@@ -99,6 +99,29 @@ let wrap ~cfg ~subsystem ~metric_name ~label ~on_shed inbox =
     nshed = 0;
     nserved = 0;
   }
+  in
+  (* Snapshot hook: every endpoint reports its inbox state to the
+     replay debugger.  Identity survives crash/restart cycles because
+     a restarted serve fiber re-attaches to the same endpoint. *)
+  Chorus.Inspect.register
+    ~name:
+      (Printf.sprintf "svc/%s.%s%s" subsystem label
+         (match metric_name with None -> "" | Some n -> "." ^ n))
+    (fun () ->
+      Chorus.Inspect.Assoc
+        [ ("depth", Chorus.Inspect.Int (Chan.length ep.inbox));
+          ("hwm", Chorus.Inspect.Int ep.hwm);
+          ("served", Chorus.Inspect.Int ep.nserved);
+          ("rejected", Chorus.Inspect.Int ep.nrejected);
+          ("shed", Chorus.Inspect.Int ep.nshed);
+          ("capacity", Chorus.Inspect.Int ep.cfg.capacity);
+          ("policy",
+           Chorus.Inspect.String
+             (match ep.cfg.policy with
+             | `Block -> "block"
+             | `Reject -> "reject"
+             | `Shed_oldest -> "shed-oldest")) ]);
+  ep
 
 let cast_create ?(config = default_config) ?metric_name
     ?(on_shed = fun _ -> ()) ~subsystem ~label () =
