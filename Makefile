@@ -1,5 +1,5 @@
 .PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard \
-	replay-smoke
+	replay-smoke vfs-smoke
 
 all: build
 
@@ -27,7 +27,7 @@ doc:
 # request/reply services: the fabric's wire and NIC delivery loops,
 # the stack's frame demux fibers, the supervisor's restart
 # control-plane, and the cluster node's park channel.
-LINT_LOOP_DIRS := lib/kernel lib/net lib/cluster lib/obs lib/fsspec
+LINT_LOOP_DIRS := lib/kernel lib/net lib/cluster lib/obs lib/fsspec lib/vfs
 LINT_LOOP_ALLOW := \
 	lib/kernel/supervisor.ml \
 	lib/net/fabric.ml \
@@ -82,4 +82,21 @@ replay-smoke:
 		|| { echo "replay-smoke: --diff reported no divergence"; exit 1; }; \
 	echo "replay-smoke: OK"
 
-ci: build test fmt doc lint-loops chaos-smoke replay-smoke
+# Projected-FS gate: a small provider-kill chaos campaign (the
+# placeholder-invariant, recovery and quiescence oracles must all stay
+# green) plus a pinned mid-kill replay snapshot diffed byte-for-byte
+# against the checked-in golden (regenerate with the second command
+# below if a format change is intentional).
+PROJFS_SCHED := seed=100 kill-provider@445828+264255 loss(p=0.10)@890934+434520 loss(p=0.40)@992553+494499
+vfs-smoke:
+	@dune exec bin/chorus_sim.exe -- chaos --disk-runs 0 --kv-runs 0 \
+		--projfs-runs 10 --seed 7; \
+	dune exec bin/chorus_sim.exe -- replay --scenario projfs \
+		--schedule '$(PROJFS_SCHED)' --at 500000 > _build/vfs_smoke.txt; \
+	if ! diff -u test/golden/replay_projfs_t500000.txt _build/vfs_smoke.txt; then \
+		echo "vfs-smoke: snapshot drifted from the golden (diff above)"; \
+		exit 1; \
+	fi; \
+	echo "vfs-smoke: OK"
+
+ci: build test fmt doc lint-loops chaos-smoke replay-smoke vfs-smoke

@@ -403,12 +403,90 @@ let write_chaos_json file =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* Part 7: projected filesystem                                        *)
+
+(* Cold vs warm open+read over the projection, the hydration-storm
+   sweep across overload policies (reusing the E23 drivers), and a
+   small provider-kill chaos campaign whose headline number —
+   placeholder-invariant violations — must be 0.  Every field is in
+   virtual cycles and a pure function of the seed, so the guard can
+   require this file to reproduce byte-identically. *)
+let write_vfs_json file =
+  let module E23 = Chorus_experiments.E23_projfs in
+  let module Chaos = Chorus_chaos.Chaos in
+  print_endline "\n=====================================================";
+  print_endline " Projected FS: hydration, name cache, storms (virtual)";
+  print_endline "=====================================================\n";
+  let o = E23.measure_open ~quick:true ~seed:42 in
+  Printf.printf
+    "open: %d files  cold p50 %d p99 %d  warm p50 %d p99 %d  hydrations %d\n"
+    o.E23.files o.E23.cold_p50 o.E23.cold_p99 o.E23.warm_p50 o.E23.warm_p99
+    o.E23.hydrations;
+  let storms =
+    List.map
+      (fun policy ->
+        let s = E23.measure_storm ~quick:true ~seed:42 ~policy in
+        Printf.printf
+          "%-12s readers %d  completed %d  failed %d  p99 %d  \
+           goodput/Mcyc %.1f\n"
+          s.E23.policy_name s.E23.clients s.E23.completed s.E23.failed
+          s.E23.p99 s.E23.goodput;
+        s)
+      [ `Block; `Reject; `Shed_oldest ]
+  in
+  let projfs_runs = 12 and seed = 42 in
+  let r = Chaos.campaign ~disk_runs:0 ~kv_runs:0 ~projfs_runs ~seed () in
+  Printf.printf
+    "chaos: %d provider-kill runs  ops %d  injected %d  violations %d\n"
+    r.Chaos.runs r.Chaos.total_ops r.Chaos.faults_injected
+    (List.length r.Chaos.violations);
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-vfs-v1\",\n";
+  Buffer.add_string b "  \"seed\": 42,\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"open\": { \"files\": %d, \"cold_p50_cycles\": %d, \
+        \"cold_p99_cycles\": %d, \"warm_p50_cycles\": %d, \
+        \"warm_p99_cycles\": %d, \"hydrations\": %d, \
+        \"namecache_hits\": %d, \"namecache_misses\": %d },\n"
+       o.E23.files o.E23.cold_p50 o.E23.cold_p99 o.E23.warm_p50
+       o.E23.warm_p99 o.E23.hydrations o.E23.nc_hits o.E23.nc_misses);
+  Buffer.add_string b "  \"storm\": [";
+  List.iteri
+    (fun i (s : Chorus_experiments.E23_projfs.storm_sample) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"policy\": \"%s\", \"readers\": %d, \"capacity\": %d, \
+            \"completed\": %d, \"failed\": %d, \"rejected\": %d, \
+            \"shed\": %d, \"queue_hwm\": %d, \"p99_cycles\": %d, \
+            \"makespan_cycles\": %d, \"goodput_per_mcycle\": %.2f }"
+           s.E23.policy_name s.E23.clients s.E23.capacity s.E23.completed
+           s.E23.failed s.E23.rejected s.E23.shed s.E23.hwm s.E23.p99
+           s.E23.makespan s.E23.goodput))
+    storms;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"chaos\": { \"projfs_runs\": %d, \"runs\": %d, \
+        \"client_ops\": %d, \"faults_injected\": %d, \
+        \"placeholder_violations\": %d }\n"
+       projfs_runs r.Chaos.runs r.Chaos.total_ops r.Chaos.faults_injected
+       (List.length r.Chaos.violations));
+  Buffer.add_string b "}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--overload-only" args then
     write_overload_json "BENCH_overload.json"
   else if List.mem "--chaos-only" args then
     write_chaos_json "BENCH_chaos.json"
+  else if List.mem "--vfs-only" args then write_vfs_json "BENCH_vfs.json"
   else begin
     let tables = not (List.mem "--bechamel-only" args) in
     let bech = not (List.mem "--tables-only" args) in
@@ -418,6 +496,7 @@ let () =
       write_json "BENCH_obs.json" rows;
       write_cluster_json "BENCH_cluster.json";
       write_overload_json "BENCH_overload.json";
-      write_chaos_json "BENCH_chaos.json"
+      write_chaos_json "BENCH_chaos.json";
+      write_vfs_json "BENCH_vfs.json"
     end
   end

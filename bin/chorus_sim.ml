@@ -606,6 +606,14 @@ let chaos_cmd =
       value & opt int 8
       & info [ "kv-runs" ] ~doc:"Cluster-scenario schedules to explore.")
   in
+  let projfs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "projfs-runs" ]
+          ~doc:
+            "Projected-filesystem schedules to explore (provider kills, \
+             fabric faults; placeholder-invariant oracle).")
+  in
   let selftest_arg =
     Arg.(
       value & flag
@@ -614,9 +622,9 @@ let chaos_cmd =
             "Also plant a history corruption and verify the oracles \
              catch, shrink and replay it.")
   in
-  let go disk_runs kv_runs selftest seed =
+  let go disk_runs kv_runs projfs_runs selftest seed =
     let t0 = Unix.gettimeofday () in
-    let r = Chaos.campaign ~disk_runs ~kv_runs ~seed () in
+    let r = Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~seed () in
     let dt = Unix.gettimeofday () -. t0 in
     let t =
       Tablefmt.create
@@ -638,7 +646,10 @@ let chaos_cmd =
     List.iter
       (fun v ->
         Printf.printf "VIOLATION (%s): %s\n  schedule: %s\n  minimal:  %s\n  replay-identical: %b\n"
-          (match v.Chaos.vscenario with Chaos.Disk -> "disk" | Chaos.Kv -> "kv")
+          (match v.Chaos.vscenario with
+          | Chaos.Disk -> "disk"
+          | Chaos.Kv -> "kv"
+          | Chaos.Projfs -> "projfs")
           v.Chaos.first
           (Schedule.to_string v.Chaos.schedule)
           (Schedule.to_string v.Chaos.minimal)
@@ -658,7 +669,7 @@ let chaos_cmd =
     if r.Chaos.violations <> [] then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const go $ disk_arg $ kv_arg $ selftest_arg $ seed_arg)
+    Term.(const go $ disk_arg $ kv_arg $ projfs_arg $ selftest_arg $ seed_arg)
 
 (* --------------------------------------------------------------- *)
 (* replay: time-travel debugging over the chaos scenarios            *)
@@ -681,7 +692,9 @@ let replay_cmd =
     Arg.(
       value & opt string "disk"
       & info [ "scenario" ] ~docv:"NAME"
-          ~doc:"Chaos scenario: $(b,disk) or $(b,cluster) (alias $(b,kv)).")
+          ~doc:
+            "Chaos scenario: $(b,disk), $(b,cluster) (alias $(b,kv)) or \
+             $(b,projfs).")
   in
   let index_arg =
     Arg.(
@@ -741,8 +754,9 @@ let replay_cmd =
       match scenario with
       | "disk" -> Chaos.Disk
       | "cluster" | "kv" -> Chaos.Kv
+      | "projfs" -> Chaos.Projfs
       | s ->
-        Printf.eprintf "unknown scenario %S (disk|cluster)\n" s;
+        Printf.eprintf "unknown scenario %S (disk|cluster|projfs)\n" s;
         exit 2
     in
     let sch =
@@ -755,7 +769,10 @@ let replay_cmd =
       if json then print_endline (Snapshot.to_json r.Replay.snapshot)
       else begin
         Printf.printf "replay %s  %s\npaused at t=%d  (%d trace records)\n"
-          (match scen with Chaos.Disk -> "disk" | Chaos.Kv -> "cluster")
+          (match scen with
+          | Chaos.Disk -> "disk"
+          | Chaos.Kv -> "cluster"
+          | Chaos.Projfs -> "projfs")
           (Schedule.to_string sch) at
           (List.length r.Replay.trace);
         print_string (Snapshot.render r.Replay.snapshot)

@@ -37,8 +37,13 @@ module Stack = Chorus_net.Stack
 module Cluster = Chorus_cluster.Cluster
 module Client = Chorus_cluster.Client
 module Faults = Chorus_workload.Faults
+module Fsspec = Chorus_fsspec.Fsspec
+module Cgalloc = Chorus_kernel.Cgalloc
+module Msgvfs = Chorus_kernel.Msgvfs
+module Provider = Chorus_projfs.Provider
+module Projfs = Chorus_projfs.Projfs
 
-type scenario = Disk | Kv
+type scenario = Disk | Kv | Projfs
 
 type outcome = {
   digest : string;
@@ -413,7 +418,8 @@ let prepare_kv ~corrupt (sch : Schedule.t) =
               window at dur
                 (fun () -> Fabric.set_faults net ~delay:p ~delay_cycles:cycles ())
                 (fun () -> Fabric.set_faults net ~delay:0.0 ())
-            | Schedule.Kill_point _ | Schedule.Disk_errors _ -> ())
+            | Schedule.Kill_point _ | Schedule.Disk_errors _
+            | Schedule.Kill_provider _ -> ())
           sch.Schedule.faults;
         let inj = start_injector !actions in
         let keys = [| "k0"; "k1"; "k2" |] in
@@ -511,15 +517,256 @@ let prepare_kv ~corrupt (sch : Schedule.t) =
 
 let run_kv ~corrupt sch = run_prepared (prepare_kv ~corrupt sch)
 
+(* ------------------------------------------------------------------ *)
+(* Projfs scenario: projected mount hydrating from a supervised
+   provider over a faulty fabric.
+
+   The placeholder invariant rides on the linearizability oracle: the
+   catalog is immutable, so before any client runs, every file the
+   workload can touch is recorded as written-once with its exact
+   catalog contents.  A read that returns anything else — a torn
+   hydration, bytes from the wrong file, a partial fill exposed by a
+   provider kill mid-hydration — is then a read of a never-written
+   value, precisely what the checker rejects; a hydration that fails
+   is Lost, which constrains nothing.  "Every fd fully hydrated or
+   cleanly failed" becomes a checkable register property. *)
+
+let projfs_recovery_bound = 1_500_000
+
+let prepare_projfs ~corrupt (sch : Schedule.t) =
+  let hist = History.create () in
+  let injected = ref 0 in
+  let viols = ref [] in
+  let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
+  let tail = Buffer.create 128 in
+  let pconfig =
+    Runtime.config ~policy:(Policy.round_robin ()) ~seed:sch.Schedule.seed
+      (Machine.mesh ~cores:16)
+  in
+  let nops = 12 in
+  let pmain () =
+        let cat =
+          Provider.catalog ~seed:sch.Schedule.seed ~nfiles:128 ~dir_width:32 ()
+        in
+        let net = Fabric.create ~latency:5_000 ~seed:(sch.Schedule.seed + 1) () in
+        let pstack = Stack.create net (Fabric.attach net ~label:"provider" ()) in
+        let mstack = Stack.create net (Fabric.attach net ~label:"mount" ()) in
+        let server = Provider.make () in
+        let sup =
+          Supervisor.start ~max_restarts:100 ~window:1_000_000_000
+            Supervisor.One_for_one
+            [ { Supervisor.cname = "provider";
+                cstart = Provider.starter server cat pstack } ]
+        in
+        let dev = Blockdev.start ~disk:Diskmodel.default () in
+        let cache = Bcache.start ~shards:2 ~capacity:128 ~dev () in
+        let alloc = Cgalloc.start ~nblocks:2048 () in
+        let fs = Msgvfs.mount Msgvfs.default_config ~bcache:cache ~alloc in
+        let pf =
+          match
+            Projfs.mount ~workers:2 ~fs ~at:"/proj" ~stack:mstack
+              ~provider:(Stack.addr pstack) ()
+          with
+          | Ok pf -> pf
+          | Error e ->
+            failwith ("chaos projfs: mount failed: " ^ Fsspec.err_to_string e)
+        in
+        (* crash points: the provider's serving fiber dies at its first
+           dequeue inside each window; the supervisor re-serves the
+           port (stack-side dedup cache intact) *)
+        let kill_windows =
+          List.filter_map
+            (function
+              | Schedule.Kill_provider { at; dur } ->
+                Some (Provider.crashpoint, at, dur, ref false)
+              | _ -> None)
+            sch.Schedule.faults
+        in
+        Svc.set_crashpoint
+          (Some
+             (fun name ->
+               let now = Fiber.now () in
+               List.iter
+                 (fun (pt, at, dur, fired) ->
+                   if
+                     (not !fired) && String.equal pt name && now >= at
+                     && now < at + dur
+                   then begin
+                     fired := true;
+                     incr injected;
+                     raise Chaos_kill
+                   end)
+                 kill_windows));
+        let actions = ref [] in
+        let add t f = actions := (t, f) :: !actions in
+        let window at dur on off =
+          add at (fun () ->
+              incr injected;
+              on ());
+          add (at + dur) off
+        in
+        List.iter
+          (function
+            | Schedule.Frame_loss { at; dur; p } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~loss:p ())
+                (fun () -> Fabric.set_faults net ~loss:0.0 ())
+            | Schedule.Frame_delay { at; dur; p; cycles } ->
+              window at dur
+                (fun () -> Fabric.set_faults net ~delay:p ~delay_cycles:cycles ())
+                (fun () -> Fabric.set_faults net ~delay:0.0 ())
+            | _ -> ())
+          sch.Schedule.faults;
+        let inj = start_injector !actions in
+        (* the workload's read set, plus one file it never touches for
+           the post-fault cold-hydration probe *)
+        let file_idx proc i = ((proc * 13) + (i * 7)) mod cat.Provider.nfiles in
+        let used = Hashtbl.create 32 in
+        for proc = 0 to 1 do
+          for i = 0 to nops - 1 do
+            Hashtbl.replace used (file_idx proc i) ()
+          done
+        done;
+        let cold_idx =
+          let rec go i = if Hashtbl.mem used i then go (i + 1) else i in
+          go 0
+        in
+        Hashtbl.replace used cold_idx ();
+        let seeded =
+          List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) used [])
+        in
+        (* immutable-register seeding: one acked write per reachable
+           file, carrying the exact catalog contents *)
+        List.iter
+          (fun idx ->
+            let rel = Provider.rel_path cat idx in
+            let v = Option.get (Provider.content cat rel) in
+            let op =
+              History.invoke hist ~proc:8 ~kind:`Write ~key:rel ~value:v ()
+            in
+            History.return_ hist op History.Acked)
+          seeded;
+        (* pre-walk: spawn every reachable vnode (a stat walks but does
+           not hydrate) so the quiescence baseline includes the
+           namespace itself and only transient fibers count as leaks *)
+        let prewalk = Projfs.client pf in
+        List.iter
+          (fun idx ->
+            let path =
+              Projfs.mount_path pf ^ "/" ^ Provider.rel_path cat idx
+            in
+            ignore (Projfs.stat prewalk path))
+          seeded;
+        let baseline = live () in
+        let read_file c path =
+          match Projfs.open_ c path with
+          | Error _ -> None
+          | Ok fd ->
+            let r = Projfs.read c fd ~off:0 ~len:Fsspec.block_size in
+            ignore (Projfs.close c fd);
+            (match r with Ok data -> Some data | Error _ -> None)
+        in
+        let client proc =
+          let c = Projfs.client pf in
+          for i = 0 to nops - 1 do
+            Fiber.sleep (30_000 + ((((proc * 7) + (i * 13)) mod 9) * 15_000));
+            let rel = Provider.rel_path cat (file_idx proc i) in
+            let path = Projfs.mount_path pf ^ "/" ^ rel in
+            if i mod 5 = 4 then
+              (* background hydration traffic crossing the fault
+                 windows; sheds and failures are invisible to the
+                 history (prefetch is advice) *)
+              Projfs.prefetch pf path
+            else begin
+              let op = History.invoke hist ~proc ~kind:`Read ~key:rel () in
+              match read_file c path with
+              | Some data ->
+                History.return_ hist op (History.Value (Some data));
+                (* the lin checker will reject this too; name the
+                   broken invariant directly *)
+                if not (String.equal data (Option.get (Provider.content cat rel)))
+                then viol "placeholder: %s read torn/fabricated contents" rel
+              | None -> History.return_ hist op History.Lost
+            end
+          done
+        in
+        let c0 = Fiber.spawn ~label:"chaos-client-0" (fun () -> client 0) in
+        let c1 = Fiber.spawn ~label:"chaos-client-1" (fun () -> client 1) in
+        ignore (Fiber.join c0);
+        ignore (Fiber.join c1);
+        (match inj with Some t -> Faults.wait t | None -> ());
+        Fabric.set_faults net ~loss:0.0 ~delay:0.0 ();
+        (* wait the kill windows out before disarming (see prepare_disk) *)
+        let faults_end =
+          List.fold_left
+            (fun acc (_, at, dur, _) -> max acc (at + dur))
+            0 kill_windows
+        in
+        let now = Fiber.now () in
+        if faults_end > now then Fiber.sleep (faults_end - now);
+        Svc.set_crashpoint None;
+        (* recovery oracle: a never-touched file cold-hydrates within
+           the bound once the (restarted) provider answers again *)
+        let probe_client = Projfs.client pf in
+        let rel = Provider.rel_path cat cold_idx in
+        let path = Projfs.mount_path pf ^ "/" ^ rel in
+        let t0 = Fiber.now () in
+        let rec probe () =
+          let op = History.invoke hist ~proc:9 ~kind:`Read ~key:rel () in
+          match read_file probe_client path with
+          | Some data ->
+            History.return_ hist op (History.Value (Some data));
+            if not (String.equal data (Option.get (Provider.content cat rel)))
+            then viol "placeholder: %s read torn/fabricated contents" rel;
+            Buffer.add_string tail
+              (Printf.sprintf "recovered=%d\n" (Fiber.now () - t0));
+            true
+          | None ->
+            History.return_ hist op History.Lost;
+            if Fiber.now () - t0 > projfs_recovery_bound then false
+            else begin
+              Fiber.sleep 50_000;
+              probe ()
+            end
+        in
+        if not (probe ()) then
+          viol "recovery: provider silent %d cycles after faults cleared"
+            projfs_recovery_bound;
+        if corrupt then plant_corruption hist;
+        Supervisor.stop sup;
+        Fiber.sleep 60_000;
+        let depth = Svc.depth (Projfs.hydrate_ep pf) in
+        if depth > 0 then
+          viol "quiesce: %d hydrations stuck in inbox" depth;
+        let end_live = live () in
+        if end_live > baseline then
+          viol "quiesce: %d live fibers leaked (%d > %d)"
+            (end_live - baseline) end_live baseline;
+        Buffer.add_string tail
+          (Printf.sprintf
+             "injected=%d hydrations=%d hyd_failures=%d placeholders=%d requests=%d restarts=%d live=%d end=%d\n"
+             !injected
+             (Msgvfs.hydrations fs)
+             (Msgvfs.hydration_failures fs)
+             (Msgvfs.placeholders_live fs)
+             (Provider.requests server)
+             (Supervisor.restarts sup) end_live (Fiber.now ()))
+  in
+  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+
+let run_projfs ~corrupt sch = run_prepared (prepare_projfs ~corrupt sch)
+
 let prepare ?(corrupt = false) scenario sch =
   match scenario with
   | Disk -> prepare_disk ~corrupt sch
   | Kv -> prepare_kv ~corrupt sch
+  | Projfs -> prepare_projfs ~corrupt sch
 
 let run_one ?(corrupt = false) scenario sch =
   match scenario with
   | Disk -> run_disk ~corrupt sch
   | Kv -> run_kv ~corrupt sch
+  | Projfs -> run_projfs ~corrupt sch
 
 (* ------------------------------------------------------------------ *)
 (* Schedule enumeration                                                *)
@@ -568,6 +815,25 @@ let gen scenario ~seed ~index =
             dur = 200_000 + Rng.int rng 600_000;
             p = 0.1 +. (0.1 *. float_of_int (Rng.int rng 3));
             cycles = 20_000 + Rng.int rng 60_000 })
+    | Projfs -> (
+      (* provider kills carry double weight: mid-hydration death is
+         the scenario's headline fault *)
+      match Rng.int rng 4 with
+      | 0 | 1 ->
+        Schedule.Kill_provider
+          { at = 250_000 + Rng.int rng 950_000;
+            dur = 100_000 + Rng.int rng 200_000 }
+      | 2 ->
+        Schedule.Frame_loss
+          { at = 250_000 + Rng.int rng 800_000;
+            dur = 150_000 + Rng.int rng 350_000;
+            p = 0.1 +. (0.15 *. float_of_int (Rng.int rng 3)) }
+      | _ ->
+        Schedule.Frame_delay
+          { at = 250_000 + Rng.int rng 800_000;
+            dur = 150_000 + Rng.int rng 350_000;
+            p = 0.1 +. (0.1 *. float_of_int (Rng.int rng 3));
+            cycles = 20_000 + Rng.int rng 60_000 })
   in
   { Schedule.seed = sseed; faults = init_in_order n fault }
 
@@ -601,7 +867,7 @@ type report = {
   violations : violation list;
 }
 
-let campaign ?(disk_runs = 24) ?(kv_runs = 8) ~seed () =
+let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0) ~seed () =
   let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump k =
     Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
@@ -638,6 +904,9 @@ let campaign ?(disk_runs = 24) ?(kv_runs = 8) ~seed () =
   done;
   for i = 0 to kv_runs - 1 do
     explore Kv (gen Kv ~seed ~index:i)
+  done;
+  for i = 0 to projfs_runs - 1 do
+    explore Projfs (gen Projfs ~seed ~index:i)
   done;
   { runs = !runs;
     total_ops = !total_ops;

@@ -24,6 +24,16 @@
     - {!Kv}: the full replicated cluster (3 nodes, 2 shards,
       replication 3) over the fabric.  Faults: whole-node crashes plus
       fabric loss / duplication / reordering / delay windows.
+    - {!Projfs}: a projected mount ({!Chorus_projfs.Projfs}) hydrating
+      a 128-file catalog from a supervised provider node over the
+      fabric.  Faults: provider serving-fiber kills at its dequeue
+      boundary (mid-hydration death; the supervisor re-serves the
+      port) plus fabric loss / delay windows.  The {e placeholder
+      invariant} — every read is fully hydrated or cleanly failed,
+      never torn — rides on the linearizability oracle: each reachable
+      file is seeded into the history as written-once with its exact
+      catalog contents, so any torn or fabricated hydration is a read
+      of a never-written value.
 
     After every run, four oracles:
 
@@ -39,7 +49,7 @@
       it started with and no requests stuck in inboxes (nothing
       leaked). *)
 
-type scenario = Disk | Kv
+type scenario = Disk | Kv | Projfs
 
 type outcome = {
   digest : string;
@@ -107,10 +117,14 @@ type report = {
   violations : violation list;
 }
 
-val campaign : ?disk_runs:int -> ?kv_runs:int -> seed:int -> unit -> report
-(** Enumerate and run [disk_runs] {!Disk} schedules (default 24) and
-    [kv_runs] {!Kv} schedules (default 8), checking every oracle after
-    every run; violations are replay-verified and shrunk. *)
+val campaign :
+  ?disk_runs:int -> ?kv_runs:int -> ?projfs_runs:int -> seed:int -> unit ->
+  report
+(** Enumerate and run [disk_runs] {!Disk} schedules (default 24),
+    [kv_runs] {!Kv} schedules (default 8) and [projfs_runs] {!Projfs}
+    schedules (default 0 — opt-in, so the standing chaos benchmark's
+    record is unchanged), checking every oracle after every run;
+    violations are replay-verified and shrunk. *)
 
 type selftest_result = {
   caught : bool;  (** the planted violation was detected *)

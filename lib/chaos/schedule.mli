@@ -26,6 +26,11 @@ type fault =
   | Disk_errors of { at : int; dur : int; p : float }
       (** transient {!Chorus_kernel.Blockdev} read faults with
           probability [p] inside the window *)
+  | Kill_provider of { at : int; dur : int }
+      (** crash the projection provider's serving fiber
+          ({!Chorus_projfs.Provider.crashpoint}) at its first dequeue
+          inside [[at, at+dur)] — in-flight hydrations lose their
+          replies; a supervisor re-serves the port after the window *)
 
 type t = { seed : int; faults : fault list }
 
@@ -33,7 +38,8 @@ val nfaults : t -> int
 
 val kind : fault -> string
 (** Short tag for histograms: ["kill-node"], ["kill-point"],
-    ["loss"], ["dup"], ["reorder"], ["delay"], ["disk"]. *)
+    ["loss"], ["dup"], ["reorder"], ["delay"], ["disk"],
+    ["kill-provider"]. *)
 
 val to_string : t -> string
 (** Compact one-line form, e.g.

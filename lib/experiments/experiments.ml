@@ -113,7 +113,15 @@ let all =
         "aiming for not failing: under enumerated fault schedules the \
          stack stays linearizable, durable, and recovers — and every \
          failure is a shrinkable, replayable schedule (S1/S5)";
-      run = E22_chaos.run } ]
+      run = E22_chaos.run };
+    { id = "e23";
+      title = "Projected filesystem: hydration latency and storm policies";
+      claim =
+        "a remote namespace can be grafted in lazily: placeholders \
+         hydrate over the wire on first read, the name cache makes \
+         warm opens walk-free, and a hydration storm meets an \
+         explicit overload policy, not an unbounded queue (S3/S5)";
+      run = E23_projfs.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

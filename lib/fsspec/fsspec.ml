@@ -7,6 +7,7 @@ type err =
   | Ebadf
   | Enospc
   | Einval
+  | Eio
 
 type kind = File | Dir
 
@@ -47,6 +48,7 @@ let err_to_string = function
   | Ebadf -> "EBADF"
   | Enospc -> "ENOSPC"
   | Einval -> "EINVAL"
+  | Eio -> "EIO"
 
 let split_path p =
   if String.length p = 0 || p.[0] <> '/' then Error Einval

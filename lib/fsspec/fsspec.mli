@@ -16,6 +16,7 @@ type err =
   | Ebadf  (** stale or invalid handle *)
   | Enospc  (** out of blocks or inodes *)
   | Einval
+  | Eio  (** remote fetch / hydration failed (projected namespaces) *)
 
 type kind = File | Dir
 

@@ -46,6 +46,9 @@ type sys = {
   disp : (sc, scresp) Svc.t array;
   mutable spawned : int;
   mutable live : int;
+  mutable placeholders : int;
+  mutable hydrations : int;
+  mutable hydration_failures : int;
 }
 
 and sc =
@@ -143,6 +146,27 @@ let rec ensure_block sys ~hint blocks bidx =
       Bcache.zero sys.bcache b;
       ensure_block sys ~hint (blocks @ [ b ]) bidx)
 
+(* copy [data] at [off] into the block list, allocating as needed;
+   returns the updated list (shared by plain files and hydrating
+   placeholders) *)
+let file_write sys ~hint blocks ~off data =
+  let len = String.length data in
+  let rec copy blocks done_ =
+    if done_ >= len then Ok blocks
+    else begin
+      let pos = off + done_ in
+      let bidx = pos / bs in
+      let boff = pos mod bs in
+      let chunk = min (bs - boff) (len - done_) in
+      match ensure_block sys ~hint blocks bidx with
+      | Error e -> Error e
+      | Ok (blocks', b) ->
+        Bcache.put sys.bcache b ~off:boff (String.sub data done_ chunk);
+        copy blocks' (done_ + chunk)
+    end
+  in
+  copy blocks 0
+
 let serve_file sys ep ~hint =
   let blocks = ref [] in
   let size = ref 0 in
@@ -159,28 +183,13 @@ let serve_file sys ep ~hint =
       | Write { off; data } ->
         if off < 0 then Err Fsspec.Einval
         else begin
-          let len = String.length data in
-          let rec copy done_ =
-            if done_ >= len then Ok len
-            else begin
-              let pos = off + done_ in
-              let bidx = pos / bs in
-              let boff = pos mod bs in
-              let chunk = min (bs - boff) (len - done_) in
-              match ensure_block sys ~hint !blocks bidx with
-              | Error e -> Error e
-              | Ok (blocks', b) ->
-                blocks := blocks';
-                Bcache.put sys.bcache b ~off:boff
-                  (String.sub data done_ chunk);
-                copy (done_ + chunk)
-            end
-          in
-          match copy 0 with
+          match file_write sys ~hint !blocks ~off data with
           | Error e -> Err e
-          | Ok n ->
+          | Ok blocks' ->
+            blocks := blocks';
+            let len = String.length data in
             if off + len > !size then size := off + len;
-            Wrote n
+            Wrote len
         end
       | Retire ->
         List.iter (Cgalloc.free sys.alloc) !blocks;
@@ -282,6 +291,228 @@ and spawn_vnode sys kind =
   ep
 
 (* ------------------------------------------------------------------ *)
+(* Projected namespaces: lazy directories and placeholder files        *)
+
+type projection = {
+  proj_entries :
+    string -> ((string * Fsspec.kind * int) list, Fsspec.err) result;
+  proj_fetch : string -> (string, Fsspec.err) result;
+}
+
+(* A placeholder file vnode: declared size, no blocks, until the first
+   read or write pulls the contents through proj_fetch and writes them
+   into the cache (attach-on-hydrate).  The vnode fiber serializes its
+   requests, so concurrent readers of a cold file queue behind one
+   hydration and nobody ever sees a partial fill; a failed fetch
+   surfaces as Err and leaves the placeholder cold and retryable. *)
+let serve_placeholder sys proj ~rel ~declared ep ~hint =
+  let blocks = ref [] in
+  let size = ref 0 in
+  let hydrated = ref false in
+  let hydrate () =
+    if !hydrated then Ok ()
+    else
+      match proj.proj_fetch rel with
+      | Error e ->
+        sys.hydration_failures <- sys.hydration_failures + 1;
+        Error e
+      | Ok content -> (
+        match file_write sys ~hint [] ~off:0 content with
+        | Error e -> Error e
+        | Ok blocks' ->
+          blocks := blocks';
+          size := String.length content;
+          hydrated := true;
+          sys.placeholders <- sys.placeholders - 1;
+          sys.hydrations <- sys.hydrations + 1;
+          Ok ())
+  in
+  Svc.serve ~words_of_resp:reply_words
+    ~until:(fun req _ -> match req with Retire -> true | _ -> false)
+    ep
+    (fun req ->
+      match req with
+      | Getattr ->
+        if !hydrated then
+          Attr { akind = Fsspec.File; asize = !size;
+                 ablocks = List.length !blocks }
+        else Attr { akind = Fsspec.File; asize = declared; ablocks = 0 }
+      | Read { off; len } ->
+        if off < 0 || len < 0 then Err Fsspec.Einval
+        else begin
+          match hydrate () with
+          | Error e -> Err e
+          | Ok () -> Data (file_read sys ~blocks:!blocks ~size:!size ~off ~len)
+        end
+      | Write { off; data } ->
+        if off < 0 then Err Fsspec.Einval
+        else begin
+          (* copy-up before write: the projected bytes are the base *)
+          match hydrate () with
+          | Error e -> Err e
+          | Ok () -> (
+            match file_write sys ~hint !blocks ~off data with
+            | Error e -> Err e
+            | Ok blocks' ->
+              blocks := blocks';
+              let len = String.length data in
+              if off + len > !size then size := off + len;
+              Wrote len)
+        end
+      | Retire ->
+        List.iter (Cgalloc.free sys.alloc) !blocks;
+        blocks := [];
+        if not !hydrated then sys.placeholders <- sys.placeholders - 1;
+        sys.live <- sys.live - 1;
+        Done
+      | Lookup _ | Make _ | Remove _ | Detach _ | Attach _ | Readdir ->
+        Err Fsspec.Enotdir)
+
+(* A projected directory vnode: the entry list comes from
+   proj_entries on first use (errors retry on the next request), child
+   vnodes spawn on first Lookup.  Local Make entries coexist with the
+   projected names; the projected names themselves are immutable from
+   this side. *)
+let rec serve_proj_dir sys proj ~rel ep =
+  let local : (string, vnode * Fsspec.kind) Hashtbl.t = Hashtbl.create 8 in
+  let pending : (string, Fsspec.kind * int) Hashtbl.t = Hashtbl.create 8 in
+  let projected : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let enumerated = ref false in
+  let enumerate () =
+    if !enumerated then Ok ()
+    else
+      match proj.proj_entries rel with
+      | Error e -> Error e
+      | Ok entries ->
+        List.iter
+          (fun (name, kind, size) ->
+            Hashtbl.replace projected name ();
+            if not (Hashtbl.mem local name) then
+              Hashtbl.replace pending name (kind, size))
+          entries;
+        enumerated := true;
+        Ok ()
+  in
+  let child_rel name = if rel = "" then name else rel ^ "/" ^ name in
+  Svc.serve ~words_of_resp:reply_words
+    ~until:(fun _ _ -> false)
+    ep
+    (fun req ->
+      match req with
+      | Getattr -> (
+        match enumerate () with
+        | Error e -> Err e
+        | Ok () ->
+          Attr { akind = Fsspec.Dir;
+                 asize = Hashtbl.length local + Hashtbl.length pending;
+                 ablocks = 0 })
+      | Lookup name -> (
+        match enumerate () with
+        | Error e -> Err e
+        | Ok () -> (
+          match Hashtbl.find_opt local name with
+          | Some (v, k) -> Child (v, k)
+          | None -> (
+            match Hashtbl.find_opt pending name with
+            | None -> Err Fsspec.Enoent
+            | Some (kind, size) ->
+              let child =
+                spawn_proj_vnode sys proj kind ~rel:(child_rel name)
+                  ~declared:size
+              in
+              Hashtbl.remove pending name;
+              Hashtbl.replace local name (child, kind);
+              Child (child, kind))))
+      | Make (name, kind) -> (
+        match enumerate () with
+        | Error e -> Err e
+        | Ok () ->
+          if Hashtbl.mem local name || Hashtbl.mem pending name then
+            Err Fsspec.Eexist
+          else begin
+            let child = spawn_vnode sys kind in
+            Hashtbl.replace local name (child, kind);
+            Child (child, kind)
+          end)
+      | Remove name ->
+        if Hashtbl.mem projected name then Err Fsspec.Einval
+        else (
+          match Hashtbl.find_opt local name with
+          | None -> Err Fsspec.Enoent
+          | Some (v, kind) -> (
+            let empty_ok =
+              match kind with
+              | Fsspec.File -> Ok ()
+              | Fsspec.Dir -> (
+                match Svc.call v Getattr with
+                | Attr a when a.asize = 0 -> Ok ()
+                | Attr _ -> Error Fsspec.Enotempty
+                | _ -> Error Fsspec.Einval)
+            in
+            match empty_ok with
+            | Error e -> Err e
+            | Ok () -> (
+              match Svc.call v Retire with
+              | Done ->
+                Hashtbl.remove local name;
+                Done
+              | _ -> Err Fsspec.Einval)))
+      | Detach name ->
+        if Hashtbl.mem projected name then Err Fsspec.Einval
+        else (
+          match Hashtbl.find_opt local name with
+          | None -> Err Fsspec.Enoent
+          | Some (v, kind) ->
+            Hashtbl.remove local name;
+            Child (v, kind))
+      | Attach (name, v, kind) -> (
+        match enumerate () with
+        | Error e -> Err e
+        | Ok () ->
+          if Hashtbl.mem local name || Hashtbl.mem pending name then
+            Err Fsspec.Eexist
+          else begin
+            Hashtbl.replace local name (v, kind);
+            Done
+          end)
+      | Readdir -> (
+        match enumerate () with
+        | Error e -> Err e
+        | Ok () ->
+          let names =
+            Hashtbl.fold (fun k _ acc -> k :: acc) local
+              (Hashtbl.fold (fun k _ acc -> k :: acc) pending [])
+          in
+          Names (List.sort compare names))
+      | Retire ->
+        (* the projection is permanent: its namespace is remote *)
+        Err Fsspec.Einval
+      | Read _ | Write _ -> Err Fsspec.Eisdir)
+
+and spawn_proj_vnode sys proj kind ~rel ~declared =
+  let ep =
+    Svc.create ?config:sys.svc_cfg ~subsystem:"msgvfs" ~metric_name:"vnode"
+      ~label:"vnode" ()
+  in
+  sys.spawned <- sys.spawned + 1;
+  sys.live <- sys.live + 1;
+  let hint = sys.spawned in
+  let body =
+    match kind with
+    | Fsspec.File ->
+      sys.placeholders <- sys.placeholders + 1;
+      fun () -> serve_placeholder sys proj ~rel ~declared ep ~hint
+    | Fsspec.Dir -> fun () -> serve_proj_dir sys proj ~rel ep
+  in
+  let label =
+    Printf.sprintf "%s-vnode-%d"
+      (match kind with Fsspec.File -> "proj-file" | Fsspec.Dir -> "proj-dir")
+      hint
+  in
+  ignore (Fiber.spawn ~label ~daemon:true body);
+  ep
+
+(* ------------------------------------------------------------------ *)
 (* Path walking (chain of Lookup messages down the tree)               *)
 
 let walk sys path =
@@ -320,6 +551,18 @@ let walk_parent sys path =
         | _ -> Error Fsspec.Einval)
     in
     (try go sys.root parents with Chan.Closed -> Error Fsspec.Enoent)
+
+let project sys ~at proj =
+  match walk_parent sys at with
+  | Error e -> Error e
+  | Ok (dir, name) -> (
+    let v = spawn_proj_vnode sys proj Fsspec.Dir ~rel:"" ~declared:0 in
+    try
+      match Svc.call dir (Attach (name, v, Fsspec.Dir)) with
+      | Done -> Ok ()
+      | Err e -> Error e
+      | _ -> Error Fsspec.Einval
+    with Chan.Closed -> Error Fsspec.Enoent)
 
 let stat_of_attr a =
   { Fsspec.kind = a.akind; size = a.asize; blocks = a.ablocks }
@@ -473,7 +716,8 @@ let mount ?svc cfg ~bcache ~alloc =
           ~label:(Printf.sprintf "syscall-%d" i) ())
   in
   let sys =
-    { cfg; svc_cfg = svc; bcache; alloc; root; disp; spawned = 1; live = 1 }
+    { cfg; svc_cfg = svc; bcache; alloc; root; disp; spawned = 1; live = 1;
+      placeholders = 0; hydrations = 0; hydration_failures = 0 }
   in
   ignore
     (Fiber.spawn ~label:"root-vnode" ~daemon:true (fun () ->
@@ -539,6 +783,13 @@ let open_ t path =
       | _ -> Error Fsspec.Einval
   in
   Result.map (install_fd t) r
+
+type handle = vnode
+
+let resolve t path =
+  timed "open" t.mx.h_open @@ fun () -> do_open t.sys path
+
+let open_handle t v = install_fd t v
 
 let close t fd =
   if Hashtbl.mem t.fds fd then begin
@@ -609,3 +860,9 @@ let readdir t path =
 let vnodes_spawned sys = sys.spawned
 
 let live_vnodes sys = sys.live
+
+let placeholders_live sys = sys.placeholders
+
+let hydrations sys = sys.hydrations
+
+let hydration_failures sys = sys.hydration_failures

@@ -53,9 +53,65 @@ val client : sys -> t
 
 include Chorus_fsspec.Fsspec.S with type t := t
 
+(** {1 Projected namespaces}
+
+    A projection grafts a {e virtual} directory tree into the mount:
+    directories enumerate lazily through [proj_entries] and files are
+    {e placeholder} vnodes — real fibers, but with no blocks — whose
+    contents arrive through [proj_fetch] on first read or write
+    (attach-on-hydrate: the fetched bytes are written into {!Bcache}
+    blocks and the vnode becomes an ordinary file).  Both closures may
+    fail with [Eio] (the provider is remote); a failed hydration
+    leaves the placeholder intact and retryable, and because the vnode
+    fiber serializes its requests a reader can never observe a
+    half-hydrated file.  Local [Make] entries merge alongside
+    projected names; projected names refuse [Remove]/[Detach]/[Attach]
+    with [Einval] (the remote namespace is authoritative). *)
+
+type projection = {
+  proj_entries :
+    string ->
+    ( (string * Chorus_fsspec.Fsspec.kind * int) list,
+      Chorus_fsspec.Fsspec.err )
+    result;
+      (** list a directory by projection-relative path ([""] = the
+          projection root) as [(name, kind, size)].  Errors are not
+          cached: the next operation retries. *)
+  proj_fetch : string -> (string, Chorus_fsspec.Fsspec.err) result;
+      (** full contents of a projected file, by relative path. *)
+}
+
+val project :
+  sys -> at:string -> projection -> (unit, Chorus_fsspec.Fsspec.err) result
+(** Attach the projection root as directory [at] (its parent must
+    exist; the name must be free). *)
+
+(** {1 Handles}
+
+    A resolved vnode endpoint, independent of any client fd table —
+    what a name cache holds so a warm open skips the path walk. *)
+
+type handle
+
+val resolve : t -> string -> (handle, Chorus_fsspec.Fsspec.err) result
+(** Walk [path] to a file vnode (the open path without fd
+    installation). *)
+
+val open_handle : t -> handle -> Chorus_fsspec.Fsspec.fd
+(** Install a resolved handle in this client's fd table. *)
+
 (** {1 Introspection} *)
 
 val vnodes_spawned : sys -> int
 (** Total vnode fibers ever created under this mount. *)
 
 val live_vnodes : sys -> int
+
+val placeholders_live : sys -> int
+(** Projected file vnodes not yet hydrated (and not retired). *)
+
+val hydrations : sys -> int
+(** Placeholder fills completed successfully. *)
+
+val hydration_failures : sys -> int
+(** [proj_fetch] errors surfaced to readers. *)

@@ -59,19 +59,35 @@ let test_determinism_kv () =
   Alcotest.(check bool) "kv: shard roles present" true
     (contains text "role: leader")
 
+let test_determinism_projfs () =
+  let sch = Chaos.gen Chaos.Projfs ~seed:7 ~index:2 in
+  let r = check_deterministic "projfs" Chaos.Projfs sch ~at:400_000 in
+  let text = Snapshot.render r.Replay.snapshot in
+  Alcotest.(check bool) "projfs: name cache provider present" true
+    (contains text "projfs/namecache");
+  Alcotest.(check bool) "projfs: hydration provider present" true
+    (contains text "projfs/hydration");
+  Alcotest.(check bool) "projfs: hydration endpoint inbox present" true
+    (contains text "svc/projfs.hydrate")
+
 let test_snapshot_not_observer_effect () =
   (* capturing a snapshot mid-run must not change where the run goes:
      the trace up to T is identical whether we pause at T or run past
-     it, so inspection is pure observation *)
-  let sch = Chaos.gen Chaos.Disk ~seed:7 ~index:2 in
-  let early = Replay.run_to Chaos.Disk sch ~at:200_000 in
-  let late = Replay.run_to Chaos.Disk sch ~at:300_000 in
-  let n = List.length early.Replay.trace in
-  Alcotest.(check bool) "longer run has more records" true
-    (List.length late.Replay.trace >= n);
-  let prefix = List.filteri (fun i _ -> i < n) late.Replay.trace in
-  Alcotest.(check bool) "earlier trace is a prefix of the later one" true
-    (prefix = early.Replay.trace)
+     it, so inspection is pure observation.  Covers the projfs Inspect
+     providers too: registering and rendering the name cache and
+     hydration views must not perturb the run *)
+  List.iter
+    (fun (scenario, early_at, late_at) ->
+      let sch = Chaos.gen scenario ~seed:7 ~index:2 in
+      let early = Replay.run_to scenario sch ~at:early_at in
+      let late = Replay.run_to scenario sch ~at:late_at in
+      let n = List.length early.Replay.trace in
+      Alcotest.(check bool) "longer run has more records" true
+        (List.length late.Replay.trace >= n);
+      let prefix = List.filteri (fun i _ -> i < n) late.Replay.trace in
+      Alcotest.(check bool) "earlier trace is a prefix of the later one" true
+        (prefix = early.Replay.trace))
+    [ (Chaos.Disk, 200_000, 300_000); (Chaos.Projfs, 250_000, 400_000) ]
 
 (* ------------------------------------------------------------------ *)
 (* Diffing and divergence                                              *)
@@ -153,7 +169,11 @@ let test_schedule_roundtrip () =
           printed
           (Schedule.to_string (Schedule.of_string printed))
       done)
-    [ Chaos.Disk; Chaos.Kv ];
+    [ Chaos.Disk; Chaos.Kv; Chaos.Projfs ];
+  Alcotest.(check string) "kill-provider parses without parens"
+    "seed=5 kill-provider@300000+120000"
+    (Schedule.to_string
+       (Schedule.of_string "seed=5 kill-provider@300000+120000"));
   Alcotest.(check string) "fault-free" "seed=3 (no faults)"
     (Schedule.to_string (Schedule.of_string "seed=3 (no faults)"))
 
@@ -163,7 +183,8 @@ let test_schedule_rejects_garbage () =
       match Schedule.of_string s with
       | _ -> Alcotest.failf "accepted %S" s
       | exception Invalid_argument _ -> ())
-    [ ""; "seed="; "seed=1 flood(p=0.5)@1+2"; "seed=1 loss(p=x)@1+2" ]
+    [ ""; "seed="; "seed=1 flood(p=0.5)@1+2"; "seed=1 loss(p=x)@1+2";
+      "seed=1 kill-provider@x+2"; "seed=1 kill-provider" ]
 
 (* ------------------------------------------------------------------ *)
 (* Engine stepping                                                     *)
@@ -227,6 +248,8 @@ let () =
     [ ( "snapshot",
         [ Alcotest.test_case "determinism-disk" `Quick test_determinism_disk;
           Alcotest.test_case "determinism-kv" `Quick test_determinism_kv;
+          Alcotest.test_case "determinism-projfs" `Quick
+            test_determinism_projfs;
           Alcotest.test_case "no-observer-effect" `Quick
             test_snapshot_not_observer_effect ] );
       ( "diff",
