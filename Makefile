@@ -1,5 +1,5 @@
 .PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard \
-	replay-smoke vfs-smoke
+	replay-smoke vfs-smoke cluster-smoke
 
 all: build
 
@@ -26,13 +26,15 @@ doc:
 # and queue metrics.  Allowlisted files hold the loops that are not
 # request/reply services: the fabric's wire and NIC delivery loops,
 # the stack's frame demux fibers, the supervisor's restart
-# control-plane, and the cluster node's park channel.
+# control-plane, the cluster node's park channel, and the client's
+# pipeline window (a bounded-capacity semaphore, not a request loop).
 LINT_LOOP_DIRS := lib/kernel lib/net lib/cluster lib/obs lib/fsspec lib/vfs
 LINT_LOOP_ALLOW := \
 	lib/kernel/supervisor.ml \
 	lib/net/fabric.ml \
 	lib/net/stack.ml \
-	lib/cluster/cluster.ml
+	lib/cluster/cluster.ml \
+	lib/cluster/client.ml
 
 lint-loops:
 	@bad=$$(grep -rn --include='*.ml' 'Chan\.recv\b' $(LINT_LOOP_DIRS) \
@@ -55,6 +57,17 @@ bench:
 # 2 if the selftest fails.
 chaos-smoke:
 	dune exec bin/chorus_sim.exe -- chaos --disk-runs 30 --kv-runs 6 --selftest
+
+# Cluster hot-path gate: E24 end-to-end (open-loop Zipf load through
+# client pipelining, group-commit batching and leader leases) plus a
+# lease-focused chaos campaign — leader kills and partition-ish fabric
+# windows with the linearizability oracle vetoing stale leased reads.
+cluster-smoke:
+	@dune exec bin/chorus_sim.exe -- run e24 > _build/cluster_smoke.txt \
+		|| { cat _build/cluster_smoke.txt; exit 1; }; \
+	echo "cluster-smoke: e24 OK"; \
+	dune exec bin/chorus_sim.exe -- chaos --disk-runs 0 --kv-runs 0 \
+		--lease-runs 8 --seed 11
 
 # Compare the committed BENCH_*.json baselines against a fresh
 # regeneration of their deterministic fields.
@@ -99,4 +112,5 @@ vfs-smoke:
 	fi; \
 	echo "vfs-smoke: OK"
 
-ci: build test fmt doc lint-loops chaos-smoke replay-smoke vfs-smoke
+ci: build test fmt doc lint-loops chaos-smoke replay-smoke vfs-smoke \
+	cluster-smoke

@@ -256,10 +256,13 @@ let write_json file bech_rows =
 (* Part 4: cluster macro-benchmark                                     *)
 
 (* Steady-state put cost and the data-plane failover window as the
-   replica group widens, in virtual cycles (so the numbers are exact
-   and reproducible, not host-dependent).  Reuses the E20 driver. *)
+   replica group widens, plus the E24 hot-path curves (throughput/p99
+   vs offered load per posture, and the batched-vs-plain write path at
+   saturation), in virtual cycles (so the numbers are exact and
+   reproducible, not host-dependent).  Reuses the E20/E24 drivers. *)
 let write_cluster_json file =
   let module E20 = Chorus_experiments.E20_cluster in
+  let module E24 = Chorus_experiments.E24_hotpath in
   print_endline "\n=====================================================";
   print_endline " Cluster: throughput and failover window (virtual)";
   print_endline "=====================================================\n";
@@ -277,8 +280,44 @@ let write_cluster_json file =
         (nnodes, window, per_put, acked, ops))
       [ 1; 3; 5 ]
   in
-  let b = Buffer.create 512 in
-  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-cluster-v1\",\n";
+  print_endline "\nhot path: offered-load sweep (3 replicas, 90% reads)";
+  let sweep =
+    List.concat_map
+      (fun offered ->
+        List.map
+          (fun (batched, leased) ->
+            let p =
+              E24.run_point ~quick:true ~seed:42 ~replicas:3 ~batched
+                ~leased ~offered ~read_fraction:0.9 ()
+            in
+            Printf.printf
+              "  offered %4d  batched=%b leased=%b  tput %.0f  p99 %d\n"
+              offered batched leased p.E24.throughput p.E24.p99;
+            p)
+          [ (false, false); (true, false); (false, true); (true, true) ])
+      [ 300; 1200 ]
+  in
+  print_endline "\nhot path: write-only at saturation (slow fabric)";
+  let writes =
+    List.concat_map
+      (fun replicas ->
+        List.map
+          (fun batched ->
+            let p =
+              E24.run_point ~quick:true ~seed:42 ~replicas ~batched
+                ~leased:false ~offered:16_000 ~read_fraction:0.0
+                ~nclients:24 ~depth:16 ~duration:600_000
+                ~call_timeout:800_000 ~propose_timeout:600_000
+                ~fabric_latency:20_000 ()
+            in
+            Printf.printf "  replicas %d  batched=%b  cycles/put %d\n"
+              replicas batched p.E24.cycles_per_op;
+            p)
+          [ false; true ])
+      [ 1; 3; 5 ]
+  in
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-cluster-v2\",\n";
   Buffer.add_string b "  \"seed\": 42,\n";
   Buffer.add_string b "  \"replica_groups\": [";
   List.iteri
@@ -291,7 +330,33 @@ let write_cluster_json file =
            n acked ops per_put
            (if window = 0 then "null" else string_of_int window)))
     rows;
-  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.add_string b "\n  ],\n";
+  let point_json (p : E24.point) =
+    Printf.sprintf
+      "\n    { \"offered_per_mcycle\": %d, \"replicas\": %d, \
+       \"batched\": %b, \"leased\": %b, \"completed\": %d, \
+       \"failed\": %d, \"throughput_per_mcycle\": %.1f, \
+       \"cycles_per_op\": %d, \"p50_cycles\": %d, \"p99_cycles\": %d, \
+       \"put_p99_cycles\": %d, \"appends\": %d, \"group_commits\": %d, \
+       \"leased_reads\": %d }"
+      p.E24.offered p.E24.replicas p.E24.batched p.E24.leased
+      p.E24.completed p.E24.failed p.E24.throughput p.E24.cycles_per_op
+      p.E24.p50 p.E24.p99 p.E24.put_p99 p.E24.appends p.E24.group_commits
+      p.E24.leased_reads
+  in
+  let add_points name points =
+    Buffer.add_string b (Printf.sprintf "  \"%s\": [" name);
+    List.iteri
+      (fun i p ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (point_json p))
+      points;
+    Buffer.add_string b "\n  ]"
+  in
+  add_points "hot_path_sweep" sweep;
+  Buffer.add_string b ",\n";
+  add_points "write_path_saturation" writes;
+  Buffer.add_string b "\n}\n";
   let oc = open_out file in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -487,6 +552,8 @@ let () =
   else if List.mem "--chaos-only" args then
     write_chaos_json "BENCH_chaos.json"
   else if List.mem "--vfs-only" args then write_vfs_json "BENCH_vfs.json"
+  else if List.mem "--cluster-only" args then
+    write_cluster_json "BENCH_cluster.json"
   else begin
     let tables = not (List.mem "--bechamel-only" args) in
     let bech = not (List.mem "--tables-only" args) in

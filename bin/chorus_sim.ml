@@ -614,6 +614,15 @@ let chaos_cmd =
             "Projected-filesystem schedules to explore (provider kills, \
              fabric faults; placeholder-invariant oracle).")
   in
+  let lease_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "lease-runs" ]
+          ~doc:
+            "Leased-cluster schedules to explore (batched + leased hot \
+             path under leader kills and partition-ish fabric faults; \
+             the linearizability oracle vetoes stale leased reads).")
+  in
   let selftest_arg =
     Arg.(
       value & flag
@@ -622,9 +631,11 @@ let chaos_cmd =
             "Also plant a history corruption and verify the oracles \
              catch, shrink and replay it.")
   in
-  let go disk_runs kv_runs projfs_runs selftest seed =
+  let go disk_runs kv_runs projfs_runs lease_runs selftest seed =
     let t0 = Unix.gettimeofday () in
-    let r = Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~seed () in
+    let r =
+      Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~lease_runs ~seed ()
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let t =
       Tablefmt.create
@@ -649,6 +660,7 @@ let chaos_cmd =
           (match v.Chaos.vscenario with
           | Chaos.Disk -> "disk"
           | Chaos.Kv -> "kv"
+          | Chaos.Kv_lease -> "kv-lease"
           | Chaos.Projfs -> "projfs")
           v.Chaos.first
           (Schedule.to_string v.Chaos.schedule)
@@ -669,7 +681,9 @@ let chaos_cmd =
     if r.Chaos.violations <> [] then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const go $ disk_arg $ kv_arg $ projfs_arg $ selftest_arg $ seed_arg)
+    Term.(
+      const go $ disk_arg $ kv_arg $ projfs_arg $ lease_arg $ selftest_arg
+      $ seed_arg)
 
 (* --------------------------------------------------------------- *)
 (* replay: time-travel debugging over the chaos scenarios            *)
@@ -693,8 +707,8 @@ let replay_cmd =
       value & opt string "disk"
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:
-            "Chaos scenario: $(b,disk), $(b,cluster) (alias $(b,kv)) or \
-             $(b,projfs).")
+            "Chaos scenario: $(b,disk), $(b,cluster) (alias $(b,kv)), \
+             $(b,lease) (alias $(b,kv-lease)) or $(b,projfs).")
   in
   let index_arg =
     Arg.(
@@ -754,9 +768,10 @@ let replay_cmd =
       match scenario with
       | "disk" -> Chaos.Disk
       | "cluster" | "kv" -> Chaos.Kv
+      | "lease" | "kv-lease" -> Chaos.Kv_lease
       | "projfs" -> Chaos.Projfs
       | s ->
-        Printf.eprintf "unknown scenario %S (disk|cluster|projfs)\n" s;
+        Printf.eprintf "unknown scenario %S (disk|cluster|lease|projfs)\n" s;
         exit 2
     in
     let sch =
@@ -772,6 +787,7 @@ let replay_cmd =
           (match scen with
           | Chaos.Disk -> "disk"
           | Chaos.Kv -> "cluster"
+          | Chaos.Kv_lease -> "kv-lease"
           | Chaos.Projfs -> "projfs")
           (Schedule.to_string sch) at
           (List.length r.Replay.trace);

@@ -36,6 +36,7 @@ module Fabric = Chorus_net.Fabric
 module Stack = Chorus_net.Stack
 module Cluster = Chorus_cluster.Cluster
 module Client = Chorus_cluster.Client
+module Raft = Chorus_cluster.Raft
 module Faults = Chorus_workload.Faults
 module Fsspec = Chorus_fsspec.Fsspec
 module Cgalloc = Chorus_kernel.Cgalloc
@@ -43,13 +44,14 @@ module Msgvfs = Chorus_kernel.Msgvfs
 module Provider = Chorus_projfs.Provider
 module Projfs = Chorus_projfs.Projfs
 
-type scenario = Disk | Kv | Projfs
+type scenario = Disk | Kv | Kv_lease | Projfs
 
 type outcome = {
   digest : string;
   violations : string list;
   injected : int;
   ops : int;
+  leased_reads : int;
 }
 
 exception Chaos_kill
@@ -117,7 +119,7 @@ let plant_corruption hist =
   let op = History.invoke hist ~proc:13 ~kind:`Read ~key:"k0" () in
   History.return_ hist op (History.Value (Some "bogus-never-written"))
 
-let finish ~hist ~tail ~viols ~injected =
+let finish ?(leased = 0) ~hist ~tail ~viols ~injected () =
   (match Lin.check_history hist with
   | `Ok -> ()
   | `Violation m -> viols := ("linearizability: " ^ m) :: !viols);
@@ -133,7 +135,8 @@ let finish ~hist ~tail ~viols ~injected =
   { digest = Digest.to_hex (Digest.string (Buffer.contents b));
     violations;
     injected = !injected;
-    ops = History.length hist }
+    ops = History.length hist;
+    leased_reads = leased }
 
 (* ------------------------------------------------------------------ *)
 (* Disk scenario: supervised KV store over Bcache + Blockdev           *)
@@ -339,7 +342,9 @@ let prepare_disk ~corrupt (sch : Schedule.t) =
              !injected (Blockdev.read_errors dev) (Bcache.read_retries cache)
              (Supervisor.restarts sup) end_live (Fiber.now ()))
   in
-  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+  { pconfig;
+    pmain;
+    pfinish = (fun () -> finish ~hist ~tail ~viols ~injected ()) }
 
 let run_prepared p =
   Fun.protect ~finally:(fun () -> Svc.set_crashpoint None) @@ fun () ->
@@ -357,9 +362,17 @@ let kv_node_deadline = 3_000_000
 
 let kv_probe_deadline = 2_000_000
 
-let prepare_kv ~corrupt (sch : Schedule.t) =
+(* [lease] is the Kv_lease scenario: same topology, same workload, but
+   the raft groups run with leader leases AND group-commit batching on
+   — the whole batched/leased hot path under node kills and fabric
+   faults.  The stale-read hazard a lease introduces (a deposed leader
+   serving a local read after a new leader acked a newer write) would
+   surface as a linearizability violation on the recorded history, so
+   "0 violations" is exactly the lease-safety claim of DESIGN.md D13. *)
+let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
   let hist = History.create () in
   let injected = ref 0 in
+  let leased_total = ref 0 in
   let viols = ref [] in
   let viol fmt = Printf.ksprintf (fun m -> viols := m :: !viols) fmt in
   let tail = Buffer.create 128 in
@@ -369,9 +382,18 @@ let prepare_kv ~corrupt (sch : Schedule.t) =
   in
   let pmain () =
         let net = Fabric.create ~latency:5_000 ~seed:(sch.Schedule.seed + 1) () in
+        let raft =
+          if not lease then None
+          else
+            Some
+              { (Raft.default_config ~seed:sch.Schedule.seed) with
+                Raft.lease = true;
+                batch_window = 8_000;
+                max_append = 64 }
+        in
         let c =
-          Cluster.create ~nshards:2 ~replication:3 ~seed:sch.Schedule.seed
-            ~nnodes:3 net
+          Cluster.create ?raft ~nshards:2 ~replication:3
+            ~seed:sch.Schedule.seed ~nnodes:3 net
         in
         Cluster.start ~max_restarts:100 ~window:1_000_000_000 c;
         let mk ?attempts s label =
@@ -499,6 +521,28 @@ let prepare_kv ~corrupt (sch : Schedule.t) =
               viol "recovery: final read of %s got no answer" key)
           keys;
         if corrupt then plant_corruption hist;
+        (* lease-path evidence, folded into the digest: a green lease
+           campaign that never served a leased read proves nothing.
+           Counters on nodes that crashed and restarted reset — this
+           undercounts, never overcounts. *)
+        if lease then begin
+          let lr = ref 0 and ld = ref 0 and gc = ref 0 in
+          List.iter
+            (fun addr ->
+              for shard = 0 to 1 do
+                match Cluster.raft_of c ~node:addr ~shard with
+                | None -> ()
+                | Some r ->
+                  lr := !lr + Raft.leased_reads r;
+                  ld := !ld + Raft.lease_denied r;
+                  gc := !gc + Raft.group_commits r
+              done)
+            (Cluster.addrs c);
+          leased_total := !lr;
+          Buffer.add_string tail
+            (Printf.sprintf "leased=%d denied=%d group_commits=%d\n" !lr !ld
+               !gc)
+        end;
         Cluster.stop c;
         Fiber.sleep 100_000;
         let end_live = live () in
@@ -513,9 +557,13 @@ let prepare_kv ~corrupt (sch : Schedule.t) =
              (Cluster.leader_changes c) (Cluster.node_crashes c)
              (Cluster.restarts c) end_live (Fiber.now ()))
   in
-  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+  { pconfig;
+    pmain;
+    pfinish =
+      (fun () ->
+        finish ~leased:!leased_total ~hist ~tail ~viols ~injected ()) }
 
-let run_kv ~corrupt sch = run_prepared (prepare_kv ~corrupt sch)
+let run_kv ?lease ~corrupt sch = run_prepared (prepare_kv ?lease ~corrupt sch)
 
 (* ------------------------------------------------------------------ *)
 (* Projfs scenario: projected mount hydrating from a supervised
@@ -752,7 +800,9 @@ let prepare_projfs ~corrupt (sch : Schedule.t) =
              (Provider.requests server)
              (Supervisor.restarts sup) end_live (Fiber.now ()))
   in
-  { pconfig; pmain; pfinish = (fun () -> finish ~hist ~tail ~viols ~injected) }
+  { pconfig;
+    pmain;
+    pfinish = (fun () -> finish ~hist ~tail ~viols ~injected ()) }
 
 let run_projfs ~corrupt sch = run_prepared (prepare_projfs ~corrupt sch)
 
@@ -760,12 +810,14 @@ let prepare ?(corrupt = false) scenario sch =
   match scenario with
   | Disk -> prepare_disk ~corrupt sch
   | Kv -> prepare_kv ~corrupt sch
+  | Kv_lease -> prepare_kv ~lease:true ~corrupt sch
   | Projfs -> prepare_projfs ~corrupt sch
 
 let run_one ?(corrupt = false) scenario sch =
   match scenario with
   | Disk -> run_disk ~corrupt sch
   | Kv -> run_kv ~corrupt sch
+  | Kv_lease -> run_kv ~lease:true ~corrupt sch
   | Projfs -> run_projfs ~corrupt sch
 
 (* ------------------------------------------------------------------ *)
@@ -809,6 +861,26 @@ let gen scenario ~seed ~index =
           { at = 1_050_000 + Rng.int rng 1_000_000;
             dur = 200_000 + Rng.int rng 600_000;
             p = 0.1 +. (0.15 *. float_of_int (Rng.int rng 3)) }
+      | _ ->
+        Schedule.Frame_delay
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.1 +. (0.1 *. float_of_int (Rng.int rng 3));
+            cycles = 20_000 + Rng.int rng 60_000 })
+    | Kv_lease -> (
+      (* the faults a lease could turn into a stale read: leader
+         kills carry double weight, and the fabric windows are the
+         partition-ish ones (loss and delay isolate a leader that
+         still thinks it holds a lease; dup/reorder don't) *)
+      match Rng.int rng 4 with
+      | 0 | 1 ->
+        Schedule.Kill_node
+          { node = Rng.int rng 3; at = 1_050_000 + Rng.int rng 1_150_000 }
+      | 2 ->
+        Schedule.Frame_loss
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 600_000;
+            p = 0.05 +. (0.1 *. float_of_int (Rng.int rng 4)) }
       | _ ->
         Schedule.Frame_delay
           { at = 1_050_000 + Rng.int rng 1_000_000;
@@ -867,7 +939,8 @@ type report = {
   violations : violation list;
 }
 
-let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0) ~seed () =
+let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0)
+    ?(lease_runs = 0) ~seed () =
   let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump k =
     Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
@@ -907,6 +980,9 @@ let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0) ~seed () =
   done;
   for i = 0 to projfs_runs - 1 do
     explore Projfs (gen Projfs ~seed ~index:i)
+  done;
+  for i = 0 to lease_runs - 1 do
+    explore Kv_lease (gen Kv_lease ~seed ~index:i)
   done;
   { runs = !runs;
     total_ops = !total_ops;

@@ -24,6 +24,14 @@
     - {!Kv}: the full replicated cluster (3 nodes, 2 shards,
       replication 3) over the fabric.  Faults: whole-node crashes plus
       fabric loss / duplication / reordering / delay windows.
+    - {!Kv_lease}: the {!Kv} topology and workload, but the raft
+      groups run the batched, leased hot path (group commit plus
+      leader leases serving reads locally).  Fault generation is
+      biased to the lease hazards — leader kills and partition-ish
+      fabric windows (loss, delay) — so the linearizability oracle is
+      pointed straight at the stale-read risk a lease introduces: a
+      deposed leader answering a local read after a newer acked write
+      would violate on the spot.
     - {!Projfs}: a projected mount ({!Chorus_projfs.Projfs}) hydrating
       a 128-file catalog from a supervised provider node over the
       fabric.  Faults: provider serving-fiber kills at its dequeue
@@ -49,7 +57,7 @@
       it started with and no requests stuck in inboxes (nothing
       leaked). *)
 
-type scenario = Disk | Kv | Projfs
+type scenario = Disk | Kv | Kv_lease | Projfs
 
 type outcome = {
   digest : string;
@@ -60,6 +68,12 @@ type outcome = {
   violations : string list;  (** empty = all oracles passed *)
   injected : int;  (** faults that actually fired *)
   ops : int;  (** client operations recorded in the history *)
+  leased_reads : int;
+      (** reads the leaders served locally under a lease ({!Kv_lease}
+          only; 0 elsewhere).  A green lease run that never actually
+          served a leased read proves nothing, so tests assert on
+          this.  Counters reset when a crashed node restarts — the
+          total undercounts, never overcounts. *)
 }
 
 type prepared = {
@@ -118,13 +132,14 @@ type report = {
 }
 
 val campaign :
-  ?disk_runs:int -> ?kv_runs:int -> ?projfs_runs:int -> seed:int -> unit ->
-  report
+  ?disk_runs:int -> ?kv_runs:int -> ?projfs_runs:int -> ?lease_runs:int ->
+  seed:int -> unit -> report
 (** Enumerate and run [disk_runs] {!Disk} schedules (default 24),
-    [kv_runs] {!Kv} schedules (default 8) and [projfs_runs] {!Projfs}
-    schedules (default 0 — opt-in, so the standing chaos benchmark's
-    record is unchanged), checking every oracle after every run;
-    violations are replay-verified and shrunk. *)
+    [kv_runs] {!Kv} schedules (default 8), [projfs_runs] {!Projfs}
+    schedules and [lease_runs] {!Kv_lease} schedules (both default 0 —
+    opt-in, so the standing chaos benchmark's record is unchanged),
+    checking every oracle after every run; violations are
+    replay-verified and shrunk. *)
 
 type selftest_result = {
   caught : bool;  (** the planted violation was detected *)

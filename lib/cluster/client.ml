@@ -1,6 +1,8 @@
 module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
 module Stack = Chorus_net.Stack
 module Rng = Chorus_util.Rng
+module Rcu = Chorus_util.Rcu
 module Metrics = Chorus_obs.Metrics
 module Span = Chorus_obs.Span
 
@@ -12,11 +14,19 @@ type t = {
   backoff_base : int;
   backoff_cap : int;
   rng : Rng.t;
-  mutable map : Shardmap.t option;
+  map : Shardmap.snapshot option Rcu.t;
+      (* RCU-published routing snapshot: the op hot path reads it
+         lock-free; a stale-map verdict publishes a fresh one *)
   hints : (int, int) Hashtbl.t;  (* shard -> last known leader *)
   mutable retries : int;
   mutable redirects : int;
   mutable failed : int;
+  (* pipeline stats (one pipeline per client at most) *)
+  mutable inflight : int;
+  mutable inflight_hwm : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable pipe_depth : int;  (* 0 = no pipeline created *)
   put_h : Metrics.histogram;
   get_h : Metrics.histogram;
 }
@@ -24,26 +34,59 @@ type t = {
 let create ?(attempts = 10) ?(call_timeout = 60_000) ?(backoff_base = 15_000)
     ?(backoff_cap = 120_000) ~seed ~bootstrap stack =
   if bootstrap = [] then invalid_arg "Client.create: no bootstrap nodes";
-  { stack;
-    bootstrap;
-    attempts;
-    call_timeout;
-    backoff_base;
-    backoff_cap;
-    rng = Rng.make (seed lxor (0x0c11e47 + (977 * Stack.addr stack)));
-    map = None;
-    hints = Hashtbl.create 8;
-    retries = 0;
-    redirects = 0;
-    failed = 0;
-    put_h = Metrics.histogram ~subsystem:"cluster" "client.put";
-    get_h = Metrics.histogram ~subsystem:"cluster" "client.get" }
+  let t =
+    { stack;
+      bootstrap;
+      attempts;
+      call_timeout;
+      backoff_base;
+      backoff_cap;
+      rng = Rng.make (seed lxor (0x0c11e47 + (977 * Stack.addr stack)));
+      map = Rcu.make None;
+      hints = Hashtbl.create 8;
+      retries = 0;
+      redirects = 0;
+      failed = 0;
+      inflight = 0;
+      inflight_hwm = 0;
+      submitted = 0;
+      completed = 0;
+      pipe_depth = 0;
+      put_h = Metrics.histogram ~subsystem:"cluster" "client.put";
+      get_h = Metrics.histogram ~subsystem:"cluster" "client.get" }
+  in
+  (* host-side snapshot hook: replay snapshots show the client's
+     retry/backoff posture and pipeline occupancy *)
+  Chorus.Inspect.register
+    ~name:(Printf.sprintf "cluster/client%d" (Stack.addr t.stack))
+    (fun () ->
+      let open Chorus.Inspect in
+      Assoc
+        [ ("attempts", Int t.attempts);
+          ("backoff_base", Int t.backoff_base);
+          ("backoff_cap", Int t.backoff_cap);
+          ("retries", Int t.retries);
+          ("redirects", Int t.redirects);
+          ("failed", Int t.failed);
+          ("map_version",
+           Int (match Rcu.peek t.map with None -> 0 | Some m -> Shardmap.version m));
+          ("map_publishes", Int (Rcu.publishes t.map));
+          ("pipeline_depth", Int t.pipe_depth);
+          ("inflight", Int t.inflight);
+          ("inflight_hwm", Int t.inflight_hwm);
+          ("submitted", Int t.submitted);
+          ("completed", Int t.completed) ]);
+  t
 
 let retries t = t.retries
 
 let redirects t = t.redirects
 
 let ops_failed t = t.failed
+
+let map_reads t = Rcu.reads t.map
+
+let map_publishes t = Rcu.publishes t.map
 
 (* Bounded exponential backoff with +-25% jitter.  Same shape as the
    stack's retransmission backoff but at operation granularity: a
@@ -72,12 +115,12 @@ let fetch_map t =
   try_nodes t.bootstrap
 
 let rec ensure_map t n =
-  match t.map with
+  match Rcu.read t.map with
   | Some m -> Some m
   | None -> (
     match fetch_map t with
     | Some m ->
-      t.map <- Some m;
+      Rcu.publish t.map (Some m);
       Some m
     | None ->
       if n + 1 >= t.attempts then None
@@ -176,8 +219,9 @@ let operation t ~key ~req =
             rotate ();
             retry ()
           | 'X' ->
-            (* wrong node: our map is stale, refetch *)
-            t.map <- None;
+            (* wrong node: our map is stale — retract the snapshot and
+               publish a freshly fetched one *)
+            Rcu.publish t.map None;
             (match ensure_map t 0 with Some _ -> () | None -> ());
             rotate ();
             retry ()
@@ -200,3 +244,61 @@ let get t k =
   | `Miss -> `Miss
   | `Acked -> `Miss  (* cannot happen for a get *)
   | `Net_fail -> `Net_fail
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining: multiple in-flight operations per client                *)
+
+type op = Op_put of string * string | Op_get of string
+
+type op_result = [ `Ok | `Found of string | `Miss | `Net_fail ]
+
+type completion = { seq : int; at : int; result : op_result }
+
+type pipe = {
+  client : t;
+  depth : int;
+  window : unit Chan.t;  (* semaphore: depth slots *)
+  done_c : completion Chan.t;
+  mutable next_seq : int;
+}
+
+let pipeline ?(depth = 8) t =
+  if depth < 1 then invalid_arg "Client.pipeline: depth";
+  t.pipe_depth <- depth;
+  { client = t;
+    depth;
+    window = Chan.buffered ~label:"pipe-window" depth;
+    done_c = Chan.unbounded ~label:"pipe-done" ();
+    next_seq = 0 }
+
+let submit p op =
+  let t = p.client in
+  Chan.send p.window ();  (* blocks while [depth] ops are in flight *)
+  let seq = p.next_seq in
+  p.next_seq <- seq + 1;
+  t.submitted <- t.submitted + 1;
+  t.inflight <- t.inflight + 1;
+  if t.inflight > t.inflight_hwm then t.inflight_hwm <- t.inflight;
+  ignore
+    (Fiber.spawn
+       ~label:(Printf.sprintf "pipe-op-%d" seq)
+       ~daemon:true
+       (fun () ->
+         let result : op_result =
+           match op with
+           | Op_put (k, v) -> (put t k v :> op_result)
+           | Op_get k -> (get t k :> op_result)
+         in
+         t.inflight <- t.inflight - 1;
+         t.completed <- t.completed + 1;
+         ignore (Chan.recv p.window);  (* free the window slot *)
+         Chan.send p.done_c { seq; at = Fiber.now (); result }));
+  seq
+
+let completions p = p.done_c
+
+let inflight p = p.client.inflight
+
+let inflight_hwm p = p.client.inflight_hwm
+
+let pipe_depth p = p.depth

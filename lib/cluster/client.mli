@@ -41,3 +41,55 @@ val redirects : t -> int
 
 val ops_failed : t -> int
 (** Operations that exhausted every attempt ([`Net_fail]). *)
+
+val map_reads : t -> int
+(** Lock-free routing-snapshot reads performed ({!Chorus_util.Rcu}
+    read-side count). *)
+
+val map_publishes : t -> int
+(** Fresh shardmap snapshots published (initial fetch + every
+    stale-map refetch). *)
+
+(** {1 Pipelining}
+
+    A pipe keeps up to [depth] operations of one client in flight at
+    once, each tagged with a monotonically increasing sequence number,
+    and delivers sequence-tagged completions on a channel as they
+    finish — the strict call/response round-trip per operation becomes
+    a sliding window, which is what lets an open-loop generator drive
+    a single connection far past one-op-per-RTT.  Completions may
+    arrive out of submission order (redirect/retry histories differ
+    per key); the sequence number is the correlation.  One pipe per
+    client: the pipe owns the client's in-flight accounting, which the
+    [cluster/client<addr>] {!Chorus.Inspect} provider reports. *)
+
+type pipe
+
+type op = Op_put of string * string | Op_get of string
+
+type op_result = [ `Ok | `Found of string | `Miss | `Net_fail ]
+(** [`Ok] acks a put; [`Found]/[`Miss] answer a get; [`Net_fail] as in
+    {!put}/{!get}. *)
+
+type completion = { seq : int; at : int; result : op_result }
+(** [at] is the virtual completion time — latency measurement stays
+    exact even when a driver drains completions in arrears. *)
+
+val pipeline : ?depth:int -> t -> pipe
+(** [pipeline ~depth t] (default depth 8) opens the sliding window. *)
+
+val submit : pipe -> op -> int
+(** Start an operation and return its sequence number.  Blocks only
+    while the window is full ([depth] ops already in flight) — the
+    submission-side backpressure an open-loop driver leans on. *)
+
+val completions : pipe -> completion Chorus.Chan.t
+(** The completion stream: exactly one message per {!submit}, in
+    completion order. *)
+
+val inflight : pipe -> int
+
+val inflight_hwm : pipe -> int
+(** Highest concurrent in-flight count reached. *)
+
+val pipe_depth : pipe -> int

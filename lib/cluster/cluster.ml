@@ -134,7 +134,10 @@ let create ?raft ?notify ?overload ~nshards ~replication ~seed ~nnodes fabric =
                           ("commit_index", Int (Raft.commit_index r));
                           ("log_length", Int (Raft.log_length r));
                           ("applied", Int (Raft.applied r));
-                          ("leader_hint", Int (Raft.leader_hint r)) ])
+                          ("leader_hint", Int (Raft.leader_hint r));
+                          ("group_commits", Int (Raft.group_commits r));
+                          ("leased_reads", Int (Raft.leased_reads r));
+                          ("lease_valid", Bool (Raft.lease_valid r)) ])
                     node.rafts)) ]))
     t.nodes;
   Chorus.Inspect.register ~name:"cluster/summary" (fun () ->
@@ -171,6 +174,24 @@ let track_inflight node d =
   node.inflight <- node.inflight + d;
   Metrics.observe node.depth_g node.inflight
 
+(* The quorum path: hand the command to a registered worker fiber that
+   blocks in [Raft.propose] until commit+apply (or timeout). *)
+let propose_path node ~register shard r cmd ~reply =
+  track_inflight node 1;
+  register
+    (Fiber.spawn
+       ~label:(Printf.sprintf "prop-n%d-s%d" node.addr shard)
+       ~daemon:true
+       (fun () ->
+         let answer =
+           match Raft.propose r cmd with
+           | `Ok payload -> payload
+           | `Not_leader h -> Printf.sprintf "L%d" h
+           | `Retry -> "R"
+         in
+         track_inflight node (-1);
+         reply answer))
+
 (* Runs in the client-port serve fiber: must not block.  Leader ops are
    handed to a registered worker fiber; everything else answers
    inline. *)
@@ -187,20 +208,21 @@ let handle_client t node ~register ~src:_ payload ~reply =
         if Raft.role r <> Raft.Leader then
           reply (Printf.sprintf "L%d" (Raft.leader_hint r))
         else begin
-          track_inflight node 1;
-          register
-            (Fiber.spawn
-               ~label:(Printf.sprintf "prop-n%d-s%d" node.addr shard)
-               ~daemon:true
-               (fun () ->
-                 let answer =
-                   match Raft.propose r cmd with
-                   | `Ok payload -> payload
-                   | `Not_leader h -> Printf.sprintf "L%d" h
-                   | `Retry -> "R"
-                 in
-                 track_inflight node (-1);
-                 reply answer))
+          (* leased read fast path: a Get under a valid leader lease is
+             answered from the local store right here in the serve
+             fiber — no log entry, no replication round, no worker
+             fiber.  [read_local] never blocks (it only charges one
+             apply's worth of work) and answers [`No_lease] whenever
+             leases are off, so the propose path below is untouched by
+             default. *)
+          match cmd with
+          | Raft.Get key' -> (
+            match Raft.read_local r key' with
+            | `Value (Some v) -> reply ("F" ^ v)
+            | `Value None -> reply "M"
+            | `No_lease -> propose_path node ~register shard r cmd ~reply)
+          | Raft.Put _ | Raft.Nop ->
+            propose_path node ~register shard r cmd ~reply
         end)
 
 let handle_raft node ~src payload ~reply =

@@ -12,6 +12,10 @@ type config = {
   election_hi : int;
   rpc_timeout : int;
   propose_timeout : int;
+  batch_window : int;
+  max_append : int;
+  lease : bool;
+  lease_margin : int;
   seed : int;
 }
 
@@ -21,6 +25,10 @@ let default_config ~seed =
     election_hi = 240_000;
     rpc_timeout = 30_000;
     propose_timeout = 200_000;
+    batch_window = 0;
+    max_append = 16;
+    lease = false;
+    lease_margin = 10_000;
     seed }
 
 type role = Follower | Candidate | Leader
@@ -65,6 +73,18 @@ type t = {
          is redundant by construction and is dropped, exactly the old
          try_send-on-buffered-1 behaviour, but now visible in the
          uniform rejected counter. *)
+  mutable batch_kick : unit Svc.cast option;
+      (* the group-commit batcher's doorbell; Some only while a leader
+         with batch_window > 0 has its batcher fiber up *)
+  mutable batch_pending : int;
+      (* proposals appended since the last replicator flush *)
+  lease_acked : int array;
+      (* per peer: virtual send-time of the latest append that peer
+         acknowledged, -1 before the first ack of this leadership.
+         The (majority-1)-th largest of these anchors the lease. *)
+  mutable term_start : int;
+      (* index of this term's pinning Nop; leased reads need
+         commit_idx >= term_start (current-term commitment) *)
   waiters : (int, int * wait_result Chan.t) Hashtbl.t;
       (* log index -> (expected term, reply channel) *)
   mutable lineage : int;
@@ -73,10 +93,11 @@ type t = {
   mutable elections : int;
   mutable won : int;
   mutable appends : int;
+  mutable group_commits : int;
+  mutable leased_reads : int;
+  mutable lease_denied : int;
   propose_h : Metrics.histogram;
 }
-
-let max_batch = 16
 
 let create cfg ~stack ~raft_port ~shard ~peers ~on_event =
   let self = Stack.addr stack in
@@ -101,11 +122,18 @@ let create cfg ~stack ~raft_port ~shard ~peers ~on_event =
     next_idx = Array.map (fun _ -> 1) peers;
     match_idx = Array.map (fun _ -> 0) peers;
     kicks = [];
+    batch_kick = None;
+    batch_pending = 0;
+    lease_acked = Array.map (fun _ -> -1) peers;
+    term_start = 0;
     waiters = Hashtbl.create 8;
     lineage = 0;
     elections = 0;
     won = 0;
     appends = 0;
+    group_commits = 0;
+    leased_reads = 0;
+    lease_denied = 0;
     propose_h =
       Metrics.histogram ~subsystem:"cluster"
         (Printf.sprintf "shard%d.propose" shard) }
@@ -127,6 +155,12 @@ let elections_won t = t.won
 let appends_sent t = t.appends
 
 let applied t = t.applied
+
+let group_commits t = t.group_commits
+
+let leased_reads t = t.leased_reads
+
+let lease_denied t = t.lease_denied
 
 (* 1-based log access *)
 let entry t i = t.log.(i - 1)
@@ -155,6 +189,7 @@ let step_down t new_term =
   if t.role <> Follower then begin
     t.role <- Follower;
     t.kicks <- [];
+    t.batch_kick <- None;
     t.on_event (Stepped_down { shard = t.shard; node = t.self; term = t.term })
   end;
   t.last_heartbeat <- Fiber.now ()
@@ -164,6 +199,9 @@ let reset_volatile t =
   t.role <- Follower;
   t.leader_hint <- -1;
   t.kicks <- [];
+  t.batch_kick <- None;
+  t.batch_pending <- 0;
+  Array.fill t.lease_acked 0 (Array.length t.lease_acked) (-1);
   Hashtbl.reset t.waiters;
   t.last_heartbeat <- Fiber.now ()
 
@@ -222,6 +260,51 @@ let maybe_commit t =
       decr n
     done;
     if !committed then apply t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader lease (read path)                                            *)
+
+(* The lease anchors at the (majority-1)-th most recent send-time among
+   peer-acknowledged appends: at that instant a majority (those peers
+   plus the leader itself) had heard from this leader.  Under virtual
+   time there is no clock skew, and every follower that processed an
+   append at t_recv >= t_send both reset its election timer and — in
+   lease mode — refuses to grant votes for election_lo cycles after
+   t_recv.  So no competing leader can be elected by any majority
+   before anchor + election_lo; serving local reads until
+   anchor + election_lo - lease_margin leaves lease_margin cycles of
+   slack for the read itself.  (See DESIGN D13.) *)
+let lease_deadline t =
+  let need = majority t - 1 in
+  if need = 0 then max_int  (* single-replica group: always leased *)
+  else begin
+    let sorted = Array.copy t.lease_acked in
+    Array.sort (fun a b -> compare (b : int) a) sorted;
+    let anchor = sorted.(need - 1) in
+    if anchor < 0 then min_int
+    else anchor + t.cfg.election_lo - t.cfg.lease_margin
+  end
+
+let lease_valid t =
+  t.cfg.lease && t.role = Leader
+  && t.commit_idx >= t.term_start
+  && Fiber.now () < lease_deadline t
+
+let read_local t key =
+  if not (t.cfg.lease && t.role = Leader) then `No_lease
+  else begin
+    (* the read is charged like one applied Get; re-check the lease at
+       completion time so the value returned is covered by it *)
+    Fiber.work 120;
+    if lease_valid t then begin
+      t.leased_reads <- t.leased_reads + 1;
+      `Value (Hashtbl.find_opt t.store key)
+    end
+    else begin
+      t.lease_denied <- t.lease_denied + 1;
+      `No_lease
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -300,13 +383,22 @@ let handle_vote t r =
   let c_last_idx = Wire.int_ r in
   let c_last_term = Wire.int_ r in
   Fiber.work 80;
+  (* Lease guard (thesis §6.4.1 flavour): while leases are on, a
+     follower that heard from a live leader within the minimum election
+     timeout refuses to vote — this is what makes the leader's lease
+     arithmetic sound.  Captured before step_down, which resets the
+     heartbeat clock. *)
+  let lease_guard =
+    t.cfg.lease && t.role = Follower
+    && Fiber.now () - t.last_heartbeat < t.cfg.election_lo
+  in
   if cterm > t.term then step_down t cterm;
   let up_to_date =
     c_last_term > last_log_term t
     || (c_last_term = last_log_term t && c_last_idx >= t.log_len)
   in
   let granted =
-    cterm = t.term && up_to_date
+    cterm = t.term && up_to_date && (not lease_guard)
     && (match t.voted_for with None -> true | Some c -> c = cand)
   in
   if granted then begin
@@ -383,7 +475,7 @@ let replicator t ~lineage ~my_term ~peer_pos =
   let rec loop () =
     if live () then begin
       let ni = t.next_idx.(peer_pos) in
-      let until = min t.log_len (ni + max_batch - 1) in
+      let until = min t.log_len (ni + t.cfg.max_append - 1) in
       let entries =
         if until < ni then []
         else List.init (until - ni + 1) (fun k -> entry t (ni + k))
@@ -391,6 +483,7 @@ let replicator t ~lineage ~my_term ~peer_pos =
       let prev = ni - 1 in
       let prev_term = if prev = 0 then 0 else (entry t prev).eterm in
       t.appends <- t.appends + 1;
+      let t_send = Fiber.now () in
       (match
          Stack.call t.stack ~dst:peer ~port:t.raft_port
            ~timeout:t.cfg.rpc_timeout ~attempts:1
@@ -412,6 +505,12 @@ let replicator t ~lineage ~my_term ~peer_pos =
           if rterm > t.term then step_down t rterm
           else if live () then begin
             if success then begin
+              (* the peer processed an append sent at t_send: it heard
+                 from us no earlier than that, which is what the lease
+                 order statistic needs (heartbeats renew too: an empty
+                 append acks the same way) *)
+              if t_send > t.lease_acked.(peer_pos) then
+                t.lease_acked.(peer_pos) <- t_send;
               t.match_idx.(peer_pos) <- max t.match_idx.(peer_pos) m;
               t.next_idx.(peer_pos) <- t.match_idx.(peer_pos) + 1;
               maybe_commit t
@@ -430,16 +529,66 @@ let replicator t ~lineage ~my_term ~peer_pos =
   in
   loop ()
 
+(* Group commit: flush the accumulated window to the replicators in
+   one AppendEntries round per peer and try to commit.  Also the
+   size-triggered fast path out of [propose]. *)
+let flush_batch t =
+  t.batch_pending <- 0;
+  t.group_commits <- t.group_commits + 1;
+  kick_replicators t;
+  maybe_commit t
+
+(* The group-commit batcher (leader only, batch_window > 0): proposals
+   ring the doorbell; the batcher lets the window elapse so log
+   neighbours accumulate, then flushes them as one replication round.
+   The doorbell is the same capacity-1 `Reject endpoint the replicator
+   kicks use: redundant rings during a window are coalesced (they show
+   up in the rejected counter), so a thousand proposals in one window
+   cost one flush.  [take_batch] drains any rings that slipped in
+   between the sleep and the flush. *)
+let batcher t ~lineage ~my_term =
+  let bell =
+    Svc.cast_create
+      ~config:(Svc.config ~capacity:1 ~policy:`Reject ())
+      ~subsystem:"cluster" ~metric_name:"batch" ~label:"raft-batch" ()
+  in
+  t.batch_kick <- Some bell;
+  let live () =
+    t.role = Leader && t.term = my_term && t.lineage = lineage
+  in
+  let rec loop () =
+    if live () then begin
+      let rung =
+        Chan.choose
+          [ Svc.recv_case bell (fun () -> true);
+            Chan.after t.cfg.heartbeat (fun () -> false) ]
+      in
+      if live () && rung then begin
+        Fiber.sleep t.cfg.batch_window;
+        (* rings that landed during the sleep belong to entries already
+           in the log: this flush covers them (a leftover ring at worst
+           buys one empty follow-up round) *)
+        if live () then flush_batch t
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
 let become_leader t ~register ~lineage =
   t.role <- Leader;
   t.leader_hint <- t.self;
   t.won <- t.won + 1;
   t.kicks <- [];
+  t.batch_kick <- None;
+  t.batch_pending <- 0;
+  Array.fill t.lease_acked 0 (Array.length t.lease_acked) (-1);
   Array.iteri (fun i _ -> t.next_idx.(i) <- t.log_len + 1) t.next_idx;
   Array.iteri (fun i _ -> t.match_idx.(i) <- 0) t.match_idx;
   (* a fresh no-op pins the new term in the log so earlier entries can
      commit under the current-term counting rule *)
   append_entry t { eterm = t.term; cmd = Nop };
+  t.term_start <- t.log_len;
   t.on_event (Leader_won { shard = t.shard; node = t.self; term = t.term });
   let my_term = t.term in
   Array.iteri
@@ -452,6 +601,12 @@ let become_leader t ~register ~lineage =
            ~daemon:true
            (fun () -> replicator t ~lineage ~my_term ~peer_pos:i)))
     t.peers;
+  if t.cfg.batch_window > 0 then
+    register
+      (Fiber.spawn
+         ~label:(Printf.sprintf "raft-batch-s%d-n%d" t.shard t.self)
+         ~daemon:true
+         (fun () -> batcher t ~lineage ~my_term));
   maybe_commit t
 
 (* ------------------------------------------------------------------ *)
@@ -567,8 +722,20 @@ let propose t cmd =
     let idx = t.log_len in
     let ch = Chan.buffered 1 in
     Hashtbl.replace t.waiters idx (my_term, ch);
-    kick_replicators t;
-    maybe_commit t;  (* a single-replica group commits synchronously *)
+    if t.cfg.batch_window > 0 then begin
+      (* group commit: park the entry in the window; a full window
+         flushes immediately, otherwise the batcher's timer does *)
+      t.batch_pending <- t.batch_pending + 1;
+      if t.batch_pending >= t.cfg.max_append then flush_batch t
+      else
+        match t.batch_kick with
+        | Some bell -> Svc.cast bell ()
+        | None -> flush_batch t  (* batcher not up yet: don't stall *)
+    end
+    else begin
+      kick_replicators t;
+      maybe_commit t  (* a single-replica group commits synchronously *)
+    end;
     let result =
       Chan.choose
         [ Chan.recv_case ch (fun (r : wait_result) -> (r :> [ wait_result | `Timeout ]));

@@ -25,12 +25,26 @@ type config = {
   election_hi : int;
   rpc_timeout : int;  (** per-attempt timeout of raft RPCs *)
   propose_timeout : int;  (** client-visible wait for commit+apply *)
+  batch_window : int;
+      (** group-commit accumulation window in cycles; [0] (default)
+          disables batching: every proposal kicks the replicators
+          immediately, the pre-batching behaviour bit for bit *)
+  max_append : int;
+      (** entries per AppendEntries RPC; doubles as the batch-size
+          flush trigger when [batch_window > 0] *)
+  lease : bool;
+      (** leader leases: serve reads locally while a majority has
+          acked an append within [election_lo]; also arms the
+          vote-refusal guard that makes the lease sound (followers
+          that heard a leader within [election_lo] do not vote) *)
+  lease_margin : int;  (** safety slack subtracted from the lease *)
   seed : int;
 }
 
 val default_config : seed:int -> config
 (** heartbeat 25k, election 120k–240k, rpc timeout 30k, propose
-    timeout 200k cycles. *)
+    timeout 200k cycles; batching off ([batch_window = 0],
+    [max_append = 16]), leases off, lease margin 10k. *)
 
 type role = Follower | Candidate | Leader
 
@@ -69,6 +83,21 @@ val appends_sent : t -> int
 
 val applied : t -> int
 
+val group_commits : t -> int
+(** Batcher flushes performed (0 unless [batch_window > 0]). *)
+
+val leased_reads : t -> int
+(** Reads served locally under the leader lease. *)
+
+val lease_denied : t -> int
+(** Lease-read attempts that fell back to the quorum path. *)
+
+val lease_valid : t -> bool
+(** Whether a leased read would be served right now: leases on, this
+    replica leads, its term has committed, and the majority-ack order
+    statistic plus [election_lo - lease_margin] is still ahead of
+    virtual now. *)
+
 (** {1 Node integration} *)
 
 val start_timer : t -> register:(Chorus.Fiber.t -> unit) -> Chorus.Fiber.t
@@ -87,6 +116,15 @@ val handle_rpc : t -> src:int -> op:char -> Wire.reader -> string
     append-entries; the reader is positioned after the shard field).
     Never blocks; called from the node's raft-port serve loop.
     Raises {!Wire.Malformed} on a bad payload. *)
+
+val read_local :
+  t -> string -> [ `Value of string option | `No_lease ]
+(** Serve a read from the local store under the leader lease, without
+    a quorum round: [`Value] is the committed value ([None] = miss)
+    and is linearizable by the lease argument (DESIGN D13); [`No_lease]
+    means the caller must fall back to {!propose} — always the answer
+    when [config.lease] is off or this replica is not leading.  Charges
+    one apply's worth of work on success; never blocks on the net. *)
 
 val propose : t -> cmd -> [ `Ok of string | `Not_leader of int | `Retry ]
 (** Submit a command on the leader and wait until it is applied (or

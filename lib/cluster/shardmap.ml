@@ -80,6 +80,14 @@ let shard_of_key t key = hash64 key mod t.nshards
 
 let replicas t shard = t.groups.(shard)
 
+(* Pure routing over a snapshot: key -> preferred replica.  No state
+   is consulted beyond the immutable map value, so this is safe to
+   call against an RCU-published snapshot from any fiber and trivial
+   to exercise in tests without a live cluster. *)
+type snapshot = t
+
+let lookup_in snap key = snap.groups.(hash64 key mod snap.nshards).(0)
+
 let shards_of_node t node =
   List.filter
     (fun s -> Array.exists (fun a -> a = node) t.groups.(s))

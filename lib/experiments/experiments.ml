@@ -121,7 +121,15 @@ let all =
          hydrate over the wire on first read, the name cache makes \
          warm opens walk-free, and a hydration storm meets an \
          explicit overload policy, not an unbounded queue (S3/S5)";
-      run = E23_projfs.run } ]
+      run = E23_projfs.run };
+    { id = "e24";
+      title = "Cluster hot path: batching, leases, open-loop load";
+      claim =
+        "a centralized service scales only if engineered to: group \
+         commit amortizes the replication round, leader leases take \
+         reads off the quorum path, and the proof is throughput/p99 \
+         against offered load, not an assertion (S1/S3/S5)";
+      run = E24_hotpath.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

@@ -56,6 +56,9 @@ type 'msg cast = {
   mutable nrejected : int;
   mutable nshed : int;
   mutable nserved : int;
+  mutable nbatches : int;
+  mutable nbatched : int;
+  mutable batch_hwm : int;
 }
 
 type 'resp reply = [ `Ok of 'resp | `Busy ] Chan.t
@@ -98,6 +101,9 @@ let wrap ~cfg ~subsystem ~metric_name ~label ~on_shed inbox =
     nrejected = 0;
     nshed = 0;
     nserved = 0;
+    nbatches = 0;
+    nbatched = 0;
+    batch_hwm = 0;
   }
   in
   (* Snapshot hook: every endpoint reports its inbox state to the
@@ -114,6 +120,9 @@ let wrap ~cfg ~subsystem ~metric_name ~label ~on_shed inbox =
           ("served", Chorus.Inspect.Int ep.nserved);
           ("rejected", Chorus.Inspect.Int ep.nrejected);
           ("shed", Chorus.Inspect.Int ep.nshed);
+          ("batches", Chorus.Inspect.Int ep.nbatches);
+          ("batched", Chorus.Inspect.Int ep.nbatched);
+          ("batch_hwm", Chorus.Inspect.Int ep.batch_hwm);
           ("capacity", Chorus.Inspect.Int ep.cfg.capacity);
           ("policy",
            Chorus.Inspect.String
@@ -222,6 +231,40 @@ let take t =
   sample t;
   msg
 
+(* Group commit for inboxes: block for the first message, then drain
+   whatever else is already queued (up to [max]) without blocking or
+   further charges.  One dequeue-side depth sample covers the whole
+   batch, so a server draining N coalesced messages pays one boundary
+   crossing, not N — the amortization the batch stats make visible. *)
+let take_batch ?(max = 16) t =
+  if max < 1 then invalid_arg "Svc.take_batch: max";
+  let first = Chan.recv t.inbox in
+  let rec drain acc k =
+    if k >= max then List.rev acc
+    else
+      match Chan.try_recv t.inbox with
+      | None -> List.rev acc
+      | Some m -> drain (m :: acc) (k + 1)
+  in
+  let batch = drain [ first ] 1 in
+  sample t;
+  let n = List.length batch in
+  t.nbatches <- t.nbatches + 1;
+  t.nbatched <- t.nbatched + n;
+  if n > t.batch_hwm then t.batch_hwm <- n;
+  batch
+
+let serve_cast_batch ?max t handler =
+  let rec loop () =
+    let batch = take_batch ?max t in
+    hit_crashpoint t.cp_name;
+    Span.timed ~subsystem:t.span_sub ~name:t.span_name t.service_h
+      (fun () -> handler batch);
+    t.nserved <- t.nserved + List.length batch;
+    loop ()
+  in
+  loop ()
+
 let recv_case t f = Chan.recv_case t.inbox f
 
 let serve ?(words_of_resp = fun _ -> 2) ?until t handler =
@@ -299,3 +342,9 @@ let served t = t.nserved
 let rejected t = t.nrejected
 
 let shed t = t.nshed
+
+let batches t = t.nbatches
+
+let batched t = t.nbatched
+
+let batch_hwm t = t.batch_hwm

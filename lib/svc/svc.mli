@@ -137,6 +137,21 @@ val recv_case : 'msg cast -> ('msg -> 'r) -> 'r Chan.case
 (** The endpoint as one arm of a {!Chan.choose} (no depth sampling —
     choice commits bypass {!take}). *)
 
+val take_batch : ?max:int -> 'msg cast -> 'msg list
+(** Group commit for inboxes: block for the first message, then drain
+    up to [max - 1] (default 15) more that are already queued, without
+    blocking.  The whole batch costs one dequeue-side depth sample;
+    the batch size feeds the [batches]/[batched]/[batch_hwm] counters
+    so amortization is measurable.  Raises [Invalid_argument] when
+    [max < 1]. *)
+
+val serve_cast_batch : ?max:int -> 'msg cast -> ('msg list -> unit) -> unit
+(** Batched flavour of {!serve_cast}: each iteration takes a
+    {!take_batch} batch, hits the crash point {e once} per batch, runs
+    the handler under a single span / [service_time] sample, and
+    counts every message in [served] — the batched-serve charge model
+    (one boundary per batch, per-message work inside the handler). *)
+
 val serve :
   ?words_of_resp:('resp -> int) -> ?until:('req -> 'resp -> bool) ->
   ('req, 'resp) t -> ('req -> 'resp) -> unit
@@ -215,3 +230,13 @@ val served : 'msg cast -> int
 val rejected : 'msg cast -> int
 
 val shed : 'msg cast -> int
+
+val batches : 'msg cast -> int
+(** {!take_batch} calls completed. *)
+
+val batched : 'msg cast -> int
+(** Messages delivered through batches; [batched / batches] is the
+    realized amortization factor. *)
+
+val batch_hwm : 'msg cast -> int
+(** Largest single batch drained. *)

@@ -1,0 +1,27 @@
+type 'a t = {
+  mutable snapshot : 'a;
+  mutable version : int;
+  mutable reads : int;
+  mutable publishes : int;
+}
+
+let make v = { snapshot = v; version = 1; reads = 0; publishes = 0 }
+
+let read t =
+  t.reads <- t.reads + 1;
+  t.snapshot
+
+let peek t = t.snapshot
+
+let publish t v =
+  t.snapshot <- v;
+  t.version <- t.version + 1;
+  t.publishes <- t.publishes + 1
+
+let update t f = publish t (f t.snapshot)
+
+let version t = t.version
+
+let reads t = t.reads
+
+let publishes t = t.publishes

@@ -1,0 +1,46 @@
+(** RCU-style published-snapshot cell (read-copy-update, the perfbook
+    playbook scaled down to the simulator's cooperative world).
+
+    Readers take the currently published immutable snapshot with one
+    pointer load — no lock, no retry loop, no charge to virtual time —
+    and keep using it for as long as they like; a snapshot, once
+    published, is never mutated.  Writers build a complete replacement
+    value off to the side and {!publish} it with a single pointer
+    store.  Readers that loaded the old snapshot finish against it
+    (that is the grace period: in a cooperative scheduler a reader's
+    critical section is just the code between two yields, so the old
+    value dies when the last holder drops it — the GC is the
+    [synchronize_rcu]).
+
+    The cell counts reads and publishes so hot paths can prove they
+    went through the published snapshot rather than a lock. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+(** [make v] publishes [v] as the initial snapshot (version 1). *)
+
+val read : 'a t -> 'a
+(** The read-side primitive: returns the current snapshot and counts
+    the access.  Never blocks, never charges cycles. *)
+
+val peek : 'a t -> 'a
+(** Like {!read} but without touching the read counter — for
+    introspection thunks that must not perturb the stats they report. *)
+
+val publish : 'a t -> 'a -> unit
+(** Atomically (w.r.t. the cooperative scheduler: no yield inside)
+    replace the published snapshot and bump the version. *)
+
+val update : 'a t -> ('a -> 'a) -> unit
+(** [update t f] publishes [f (current snapshot)].  The classic
+    read-copy-update step: [f] must build a fresh value, not mutate
+    the old one. *)
+
+val version : 'a t -> int
+(** Monotone publish count + 1; two reads seeing the same version saw
+    the same snapshot. *)
+
+val reads : 'a t -> int
+
+val publishes : 'a t -> int

@@ -1,0 +1,57 @@
+(** Open-loop Zipf workload generator for the replicated cluster —
+    the "millions of users" driver.
+
+    Simulated client connections issue Zipf-distributed key
+    operations at exponentially-distributed instants (a Poisson
+    arrival process at the configured offered load), independent of
+    how fast the cluster answers: a saturated cluster does not slow
+    the generator down, it grows the latency tail.  Each client
+    pipelines up to [depth] operations ({!Chorus_cluster.Client}'s
+    sliding window); latency is measured from the {e scheduled} issue
+    instant to the completion stamp, so window-full queueing counts.
+
+    Distinct from {!Chorus_util.Zipf} (the bare rank distribution,
+    which this module samples for key popularity). *)
+
+type config = {
+  nkeys : int;  (** key-space size (ranks map to keys ["k%07d"]) *)
+  theta : float;  (** Zipf skew (0 = uniform, 0.99 = YCSB-ish) *)
+  nclients : int;  (** simulated client connections *)
+  depth : int;  (** pipeline window per client *)
+  offered : int;  (** total offered load, ops per million cycles *)
+  duration : int;  (** issue window in cycles *)
+  read_fraction : float;  (** fraction of ops that are gets *)
+  value_bytes : int;
+  call_timeout : int;
+      (** per-RPC client timeout; raise it past the expected queueing
+          delay when measuring capacity at deep saturation, or the
+          client's own timeout/retry churn becomes the bottleneck *)
+  seed : int;
+}
+
+val default_config : seed:int -> config
+(** 10⁶ keys, theta 0.99, 64 clients × depth 8, 400 ops/Mcycle over a
+    2M-cycle window, 90% reads, 16-byte values. *)
+
+type result = {
+  submitted : int;
+  completed : int;
+  failed : int;  (** [`Net_fail] verdicts (submitted ops that gave up) *)
+  reads : int;
+  writes : int;
+  elapsed : int;  (** cycles from generator start to last completion *)
+  throughput : float;  (** completed ops per million cycles *)
+  p50 : int;  (** completion latency percentiles, cycles *)
+  p99 : int;
+  mean_latency : float;
+  latency : Chorus_util.Histogram.t;
+  lat_get : Chorus_util.Histogram.t;  (** read-path latencies alone *)
+  lat_put : Chorus_util.Histogram.t;  (** write-path latencies alone *)
+}
+
+val run :
+  config -> fabric:Chorus_net.Fabric.t -> bootstrap:int list -> result
+(** Attach [nclients] fresh stacks to the fabric, drive the load, and
+    block until every submitted operation has completed (the cluster
+    must already be running).  Deterministic for a given config.  Call
+    from the main fiber of a running engine. *)

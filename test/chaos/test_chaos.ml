@@ -124,6 +124,39 @@ let test_campaign_green () =
   Alcotest.(check int) "all oracles green" 0 (List.length r.Chaos.violations);
   Alcotest.(check bool) "ops recorded" true (r.Chaos.total_ops > 100)
 
+(* The lease-safety claim (DESIGN.md D13): kill each node in turn
+   while the cluster runs the batched, leased hot path — one of the
+   three is the leader, killed while holding a live lease — and the
+   linearizability oracle must stay green (no deposed leader served a
+   stale local read).  The runs must also have actually exercised the
+   lease path, or the claim is vacuous, and must replay
+   byte-identically. *)
+let test_lease_kill_no_stale_reads () =
+  let leased_total = ref 0 in
+  for node = 0 to 2 do
+    let sch =
+      { Schedule.seed = 40 + node;
+        faults = [ Schedule.Kill_node { node; at = 1_200_000 } ] }
+    in
+    let a = Chaos.run_one Chaos.Kv_lease sch in
+    let b = Chaos.run_one Chaos.Kv_lease sch in
+    Alcotest.(check (list string))
+      (Printf.sprintf "kill node %d: no violations" node)
+      [] a.Chaos.violations;
+    Alcotest.(check string)
+      (Printf.sprintf "kill node %d: replays" node)
+      a.Chaos.digest b.Chaos.digest;
+    leased_total := !leased_total + a.Chaos.leased_reads
+  done;
+  Alcotest.(check bool) "lease path exercised" true (!leased_total > 0)
+
+let test_lease_campaign_green () =
+  let r =
+    Chaos.campaign ~disk_runs:0 ~kv_runs:0 ~lease_runs:6 ~seed:17 ()
+  in
+  Alcotest.(check int) "runs" 6 r.Chaos.runs;
+  Alcotest.(check int) "all oracles green" 0 (List.length r.Chaos.violations)
+
 let test_selftest () =
   let st = Chaos.selftest ~seed:11 in
   Alcotest.(check bool) "planted violation caught" true st.Chaos.caught;
@@ -146,4 +179,6 @@ let () =
         [ Alcotest.test_case "gen-deterministic" `Quick test_gen_deterministic;
           Alcotest.test_case "run-replays" `Quick test_run_replays;
           Alcotest.test_case "campaign-green" `Quick test_campaign_green;
+          Alcotest.test_case "lease-kill" `Quick test_lease_kill_no_stale_reads;
+          Alcotest.test_case "lease-campaign" `Quick test_lease_campaign_green;
           Alcotest.test_case "selftest" `Quick test_selftest ] ) ]

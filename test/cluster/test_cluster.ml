@@ -8,6 +8,7 @@ module Policy = Chorus_sched.Policy
 module Runtime = Chorus.Runtime
 module Runstats = Chorus.Runstats
 module Fiber = Chorus.Fiber
+module Chan = Chorus.Chan
 module Fabric = Chorus_net.Fabric
 module Stack = Chorus_net.Stack
 module Notify = Chorus_kernel.Notify
@@ -78,13 +79,57 @@ let test_shardmap_spread () =
         (Shardmap.shards_of_node m n <> []))
     nodes
 
+let test_shardmap_lookup_in () =
+  (* the RCU read path: lookup_in is pure over a snapshot and agrees
+     with the two-step shard_of_key + replicas(...).(0) route *)
+  let m = Shardmap.build ~nshards:16 ~replication:3 [ 0; 1; 2; 3; 4 ] in
+  List.iter
+    (fun k ->
+      let s = Shardmap.shard_of_key m k in
+      Alcotest.(check int)
+        (Printf.sprintf "lookup_in %S = primary of its shard" k)
+        (Shardmap.replicas m s).(0)
+        (Shardmap.lookup_in m k))
+    [ "alpha"; "beta"; ""; "k0000042"; String.make 64 'z' ]
+
+let test_shardmap_chi_squared () =
+  (* 64 shards x 1e5 workload-shaped keys: the shard hash must spread
+     keys uniformly or one raft group becomes the hot-path bottleneck.
+     chi^2 over 63 degrees of freedom has mean 63 and sigma ~11; 150
+     is far beyond any plausible good-hash excursion (p < 1e-9) while
+     a byte-sum-grade hash scores in the thousands on k%07d keys. *)
+  let nshards = 64 and nkeys = 100_000 in
+  let m = Shardmap.build ~nshards ~replication:1 [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let counts = Array.make nshards 0 in
+  for i = 0 to nkeys - 1 do
+    let s = Shardmap.shard_of_key m (Printf.sprintf "k%07d" i) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let expect = float_of_int nkeys /. float_of_int nshards in
+  let chi2 =
+    Array.fold_left
+      (fun acc n ->
+        let d = float_of_int n -. expect in
+        acc +. (d *. d /. expect))
+      0.0 counts
+  in
+  Array.iteri
+    (fun s n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d non-empty" s)
+        true (n > 0))
+    counts;
+  Alcotest.(check bool)
+    (Printf.sprintf "chi^2 %.1f within uniform bounds" chi2)
+    true (chi2 < 150.0)
+
 (* ------------------------------------------------------------------ *)
 (* Cluster behaviour                                                   *)
 
-let mk_cluster ?(loss = 0.0) ?(nnodes = 3) ?(nshards = 4)
+let mk_cluster ?raft ?(loss = 0.0) ?(nnodes = 3) ?(nshards = 4)
     ?(replication = 3) ?(seed = 7) () =
   let net = Fabric.create ~latency:5_000 ~loss ~seed () in
-  let c = Cluster.create ~nshards ~replication ~seed ~nnodes net in
+  let c = Cluster.create ?raft ~nshards ~replication ~seed ~nnodes net in
   Cluster.start c;
   let cstack = Stack.create net (Fabric.attach net ~label:"client" ()) in
   let client =
@@ -348,6 +393,122 @@ let test_client_net_fail_no_cluster () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Hot path: group commit, leases, pipelining                          *)
+
+let raft_sum c ~nshards f =
+  List.fold_left
+    (fun acc addr ->
+      let s = ref 0 in
+      for shard = 0 to nshards - 1 do
+        match Cluster.raft_of c ~node:addr ~shard with
+        | Some r -> s := !s + f r
+        | None -> ()
+      done;
+      acc + !s)
+    0 (Cluster.addrs c)
+
+let test_group_commit_batching () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let raft =
+          { (Raft.default_config ~seed:7) with
+            Raft.batch_window = 10_000;
+            max_append = 64 }
+        in
+        let _, c, client = mk_cluster ~raft () in
+        Fiber.sleep 800_000;
+        for i = 0 to 29 do
+          Alcotest.(check bool)
+            (Printf.sprintf "put %d acked" i)
+            true
+            (Client.put client (Printf.sprintf "bk%d" i) (string_of_int i)
+            = `Ok)
+        done;
+        for i = 0 to 29 do
+          Alcotest.(check bool)
+            (Printf.sprintf "batched write %d readable" i)
+            true
+            (Client.get client (Printf.sprintf "bk%d" i)
+            = `Found (string_of_int i))
+        done;
+        Alcotest.(check bool) "group commits happened" true
+          (raft_sum c ~nshards:4 Raft.group_commits > 0);
+        Cluster.stop c)
+  in
+  ()
+
+let test_leased_reads_served_locally () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let raft =
+          { (Raft.default_config ~seed:7) with Raft.lease = true }
+        in
+        let _, c, client = mk_cluster ~raft () in
+        Fiber.sleep 800_000;
+        Alcotest.(check bool) "put acked" true
+          (Client.put client "lk" "v1" = `Ok);
+        for _ = 1 to 10 do
+          Alcotest.(check bool) "leased get sees the write" true
+            (Client.get client "lk" = `Found "v1")
+        done;
+        Alcotest.(check bool) "reads served under the lease" true
+          (raft_sum c ~nshards:4 Raft.leased_reads > 0);
+        (* leases must not serve a value newer writes replaced *)
+        Alcotest.(check bool) "overwrite acked" true
+          (Client.put client "lk" "v2" = `Ok);
+        Alcotest.(check bool) "leased get sees the overwrite" true
+          (Client.get client "lk" = `Found "v2");
+        Cluster.stop c)
+  in
+  ()
+
+let test_client_pipeline () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let _, c, client = mk_cluster () in
+        Fiber.sleep 800_000;
+        let pipe = Client.pipeline ~depth:4 client in
+        let n = 12 in
+        let seqs = ref [] in
+        for i = 0 to n - 1 do
+          seqs :=
+            Client.submit pipe
+              (Client.Op_put (Printf.sprintf "pk%d" i, string_of_int i))
+            :: !seqs
+        done;
+        let compl_c = Client.completions pipe in
+        for _ = 1 to n do
+          let { Client.seq; at; result } = Chan.recv compl_c in
+          Alcotest.(check bool) "seq was issued" true (List.mem seq !seqs);
+          Alcotest.(check bool) "completion is stamped" true (at > 0);
+          match result with
+          | `Ok -> ()
+          | `Found _ | `Miss | `Net_fail -> Alcotest.fail "put must ack"
+        done;
+        Alcotest.(check int)
+          "seqs dense and unique" (n * (n - 1) / 2)
+          (List.fold_left ( + ) 0 !seqs);
+        Alcotest.(check int) "window drained" 0 (Client.inflight pipe);
+        Alcotest.(check bool) "window was actually used" true
+          (Client.inflight_hwm pipe > 1);
+        Alcotest.(check bool) "window never exceeded depth" true
+          (Client.inflight_hwm pipe <= 4);
+        (* pipelined reads observe the pipelined writes *)
+        for i = 0 to n - 1 do
+          ignore (Client.submit pipe (Client.Op_get (Printf.sprintf "pk%d" i)))
+        done;
+        let found = ref 0 in
+        for _ = 1 to n do
+          match (Chan.recv compl_c).Client.result with
+          | `Found _ -> incr found
+          | `Ok | `Miss | `Net_fail -> ()
+        done;
+        Alcotest.(check int) "every pipelined write readable" n !found;
+        Cluster.stop c)
+  in
+  ()
+
 let () =
   Alcotest.run "cluster"
     [ ( "shardmap",
@@ -356,7 +517,19 @@ let () =
           Alcotest.test_case "wire roundtrip" `Quick test_shardmap_roundtrip;
           Alcotest.test_case "garbage decode" `Quick
             test_shardmap_decode_garbage;
-          Alcotest.test_case "spread over nodes" `Quick test_shardmap_spread
+          Alcotest.test_case "spread over nodes" `Quick test_shardmap_spread;
+          Alcotest.test_case "lookup_in agrees with shard_of_key" `Quick
+            test_shardmap_lookup_in;
+          Alcotest.test_case "chi-squared key distribution" `Quick
+            test_shardmap_chi_squared
+        ] );
+      ( "hot path",
+        [ Alcotest.test_case "group commit batches writes" `Quick
+            test_group_commit_batching;
+          Alcotest.test_case "leased reads served locally" `Quick
+            test_leased_reads_served_locally;
+          Alcotest.test_case "client pipeline window" `Quick
+            test_client_pipeline
         ] );
       ( "cluster",
         [ Alcotest.test_case "cold-start election" `Quick

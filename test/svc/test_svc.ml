@@ -221,6 +221,53 @@ let test_deterministic_per_policy () =
         "same seed, same counts and makespan" (pp a) (pp b))
     [ `Block; `Reject; `Shed_oldest ]
 
+(* ------------------------------------------------------------------ *)
+(* Batched dequeue                                                     *)
+
+let test_take_batch_drains_backlog () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let ep = Svc.cast_create ~subsystem:"test" ~label:"batcher" () in
+        for i = 1 to 5 do
+          Svc.cast ep i
+        done;
+        (* first take: blocks for the head, then drains the backlog
+           without yielding, capped at max *)
+        Alcotest.(check (list int)) "drains up to max" [ 1; 2; 3 ]
+          (Svc.take_batch ~max:3 ep);
+        Alcotest.(check (list int)) "rest on the next take" [ 4; 5 ]
+          (Svc.take_batch ~max:16 ep);
+        Alcotest.(check int) "batches counted" 2 (Svc.batches ep);
+        Alcotest.(check int) "messages counted" 5 (Svc.batched ep);
+        Alcotest.(check int) "hwm is the widest batch" 3 (Svc.batch_hwm ep))
+  in
+  ()
+
+let test_serve_cast_batch () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let ep = Svc.cast_create ~subsystem:"test" ~label:"bserver" () in
+        let seen = ref [] in
+        let widths = ref [] in
+        ignore
+          (Fiber.spawn ~daemon:true ~label:"bserver" (fun () ->
+               Svc.serve_cast_batch ~max:8 ep (fun batch ->
+                   widths := List.length batch :: !widths;
+                   seen := !seen @ batch)));
+        (* a burst sent while the server is parked arrives as one
+           batch, not eight single-message wakeups *)
+        for i = 1 to 8 do
+          Svc.cast ep i
+        done;
+        Fiber.sleep 10_000;
+        Alcotest.(check (list int))
+          "all served in order" [ 1; 2; 3; 4; 5; 6; 7; 8 ] !seen;
+        Alcotest.(check int) "served counts every message" 8 (Svc.served ep);
+        Alcotest.(check bool) "burst coalesced into few batches" true
+          (List.length !widths <= 2))
+  in
+  ()
+
 let () =
   Alcotest.run "chorus-svc"
     [ ( "endpoint",
@@ -238,6 +285,11 @@ let () =
             test_hwm_sees_bursts_between_receives;
           Alcotest.test_case "uniform metrics registered" `Quick
             test_metrics_registered ] );
+      ( "batch",
+        [ Alcotest.test_case "take_batch drains backlog" `Quick
+            test_take_batch_drains_backlog;
+          Alcotest.test_case "serve_cast_batch coalesces" `Quick
+            test_serve_cast_batch ] );
       ( "determinism",
         [ Alcotest.test_case "same seed, same run, per policy" `Quick
             test_deterministic_per_policy ] ) ]
