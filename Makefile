@@ -1,5 +1,5 @@
-.PHONY: all build test fmt doc lint-loops ci bench chaos-smoke bench-guard \
-	replay-smoke vfs-smoke cluster-smoke
+.PHONY: all build test fmt doc lint-loops lint-globals ci bench chaos-smoke \
+	bench-guard replay-smoke vfs-smoke cluster-smoke
 
 all: build
 
@@ -48,15 +48,43 @@ lint-loops:
 		echo "lint-loops: OK"; \
 	fi
 
+# Domain-safety gate: no new top-level mutable globals in lib/.  The
+# Ctx refactor moved every process-global (Inspect registry, metrics,
+# trace factory, crash points) into per-run contexts so N engines can
+# run concurrently on N domains; a fresh `let x = ref ...` at module
+# top level would silently re-introduce cross-run sharing.  Allowlist
+# files that earn an exception (none today); Atomic.make is deliberately
+# not matched — atomics are how intentional cross-domain state is spelt.
+LINT_GLOBAL_ALLOW :=
+
+lint-globals:
+	@bad=$$(grep -rnE --include='*.ml' \
+		"^let [a-z_][a-zA-Z0-9_']*( *:[^=]*)? = (ref |Hashtbl\.create|Queue\.create|Buffer\.create|Array\.make)" \
+		lib/ \
+		| grep -v $(foreach f,$(LINT_GLOBAL_ALLOW),-e '^$(f):') -e '^$$' \
+		|| true); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-globals: top-level mutable global in lib/ (breaks domain-safety):"; \
+		echo "$$bad"; \
+		echo "bind it in a Chorus.Ctx slot (per-run) or allowlist it in the Makefile"; \
+		exit 1; \
+	else \
+		echo "lint-globals: OK"; \
+	fi
+
 bench:
 	dune exec bench/main.exe
 
 # A small seeded chaos campaign plus the oracle selftest (~2s): every
 # fault kind gets explored, every oracle must stay green, and the
 # planted violation must be caught.  Exit 1 on any oracle violation,
-# 2 if the selftest fails.
+# 2 if the selftest fails.  --domains 0 shards the campaign across
+# every available core (auto-detected, so a single-core CI host runs
+# it sequentially at unchanged cost); the merged report is
+# byte-identical at any width.
 chaos-smoke:
-	dune exec bin/chorus_sim.exe -- chaos --disk-runs 30 --kv-runs 6 --selftest
+	dune exec bin/chorus_sim.exe -- chaos --disk-runs 30 --kv-runs 6 \
+		--selftest --domains 0
 
 # Cluster hot-path gate: E24 end-to-end (open-loop Zipf load through
 # client pipelining, group-commit batching and leader leases) plus a
@@ -112,5 +140,5 @@ vfs-smoke:
 	fi; \
 	echo "vfs-smoke: OK"
 
-ci: build test fmt doc lint-loops chaos-smoke replay-smoke vfs-smoke \
-	cluster-smoke
+ci: build test fmt doc lint-loops lint-globals chaos-smoke replay-smoke \
+	vfs-smoke cluster-smoke

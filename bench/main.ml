@@ -414,9 +414,18 @@ let write_overload_json file =
 (* Part 6: chaos campaign                                              *)
 
 (* The full fault-space campaign at the acceptance scale, plus the
-   oracle selftest.  Every field except runs/sec is a pure function of
-   the seed; oracle_violations is the headline number and must be 0. *)
-let write_chaos_json file =
+   oracle selftest.  Every field except the host_* lines and runs/sec
+   is a pure function of the seed; oracle_violations is the headline
+   number and must be 0.
+
+   The campaign runs twice when the domain runner is engaged — once
+   sequentially, once across [domains] — and the two reports' campaign
+   digests must match exactly (any divergence means the parallel merge
+   broke determinism, and the bench aborts).  The host section records
+   throughput at both widths; host fields are written one per line
+   with a "host_" prefix so bench_guard's strip_host can drop them
+   before exact comparison. *)
+let write_chaos_json ?(domains = 1) file =
   let module Chaos = Chorus_chaos.Chaos in
   print_endline "\n=====================================================";
   print_endline " Chaos: fault-space campaign with oracles";
@@ -424,13 +433,31 @@ let write_chaos_json file =
   let disk_runs = 160 and kv_runs = 48 and seed = 42 in
   let t0 = Unix.gettimeofday () in
   let r = Chaos.campaign ~disk_runs ~kv_runs ~seed () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt1 = Unix.gettimeofday () -. t0 in
+  let rps1 = float_of_int r.Chaos.runs /. dt1 in
+  let rps_n =
+    if domains <= 1 then rps1
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let rn = Chaos.campaign ~disk_runs ~kv_runs ~domains ~seed () in
+      let dtn = Unix.gettimeofday () -. t0 in
+      if not (String.equal rn.Chaos.campaign_digest r.Chaos.campaign_digest)
+      then begin
+        Printf.eprintf
+          "FATAL: %d-domain campaign digest %s != sequential %s\n" domains
+          rn.Chaos.campaign_digest r.Chaos.campaign_digest;
+        exit 1
+      end;
+      float_of_int rn.Chaos.runs /. dtn
+    end
+  in
   let st = Chaos.selftest ~seed in
   Printf.printf
-    "runs %d  ops %d  injected %d  violations %d  (%.1f runs/sec host)\n"
+    "runs %d  ops %d  injected %d  violations %d  (%.1f runs/sec @1d, \
+     %.1f @%dd host)\n"
     r.Chaos.runs r.Chaos.total_ops r.Chaos.faults_injected
     (List.length r.Chaos.violations)
-    (float_of_int r.Chaos.runs /. dt);
+    rps1 rps_n domains;
   Printf.printf "selftest: caught %b, shrunk to %d faults, replay %b\n"
     st.Chaos.caught st.Chaos.minimal_faults st.Chaos.st_replay_identical;
   let b = Buffer.create 1024 in
@@ -455,8 +482,17 @@ let write_chaos_json file =
     (Printf.sprintf "  \"oracle_violations\": %d,\n"
        (List.length r.Chaos.violations));
   Buffer.add_string b
-    (Printf.sprintf "  \"runs_per_host_sec\": %.1f,\n"
-       (float_of_int r.Chaos.runs /. dt));
+    (Printf.sprintf "  \"campaign_digest\": \"%s\",\n"
+       r.Chaos.campaign_digest);
+  Buffer.add_string b
+    (Printf.sprintf "  \"runs_per_host_sec\": %.1f,\n" rps1);
+  Buffer.add_string b (Printf.sprintf "  \"host_domains\": %d,\n" domains);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_runs_per_sec_1d\": %.1f,\n" rps1);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_runs_per_sec_nd\": %.1f,\n" rps_n);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_speedup\": %.2f,\n" (rps_n /. rps1));
   Buffer.add_string b
     (Printf.sprintf
        "  \"selftest\": { \"caught\": %b, \"minimal_faults\": %d, \
@@ -547,10 +583,27 @@ let write_vfs_json file =
 
 let () =
   let args = Array.to_list Sys.argv in
+  (* --domains N: width of the parallel chaos measurement (0 = auto).
+     Simulator-side output never depends on it — only host_* lines. *)
+  let domains =
+    let rec find = function
+      | "--domains" :: n :: _ -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> n
+        | _ ->
+          prerr_endline "--domains expects a non-negative integer";
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> 1
+    in
+    match find args with
+    | 0 -> Chorus_par.Pool.recommended ()
+    | n -> n
+  in
   if List.mem "--overload-only" args then
     write_overload_json "BENCH_overload.json"
   else if List.mem "--chaos-only" args then
-    write_chaos_json "BENCH_chaos.json"
+    write_chaos_json ~domains "BENCH_chaos.json"
   else if List.mem "--vfs-only" args then write_vfs_json "BENCH_vfs.json"
   else if List.mem "--cluster-only" args then
     write_cluster_json "BENCH_cluster.json"
@@ -563,7 +616,7 @@ let () =
       write_json "BENCH_obs.json" rows;
       write_cluster_json "BENCH_cluster.json";
       write_overload_json "BENCH_overload.json";
-      write_chaos_json "BENCH_chaos.json";
+      write_chaos_json ~domains "BENCH_chaos.json";
       write_vfs_json "BENCH_vfs.json"
     end
   end

@@ -43,6 +43,23 @@ let csv_arg =
   let doc = "Directory to also dump one CSV per table into." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard independent runs across N host domains (0 = auto-detect). \
+     Results are merged in deterministic order, so every \
+     simulator-side number is byte-identical at any domain count; \
+     only wall-clock time changes."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let resolve_domains n =
+  if n < 0 then begin
+    Printf.eprintf "--domains must be >= 0\n";
+    exit 2
+  end
+  else if n = 0 then Chorus_par.Pool.recommended ()
+  else n
+
 let sanitize s =
   String.map
     (fun c ->
@@ -53,7 +70,7 @@ let sanitize s =
 
 let run_cmd =
   let doc = "Run experiments and print their tables." in
-  let run ids full seed csv =
+  let run ids full seed csv domains =
     let selected =
       if List.mem "all" ids then Experiments.all
       else
@@ -66,13 +83,20 @@ let run_cmd =
               exit 2)
           ids
     in
-    List.iter
-      (fun e ->
-        let quick = not full in
+    let domains = resolve_domains domains in
+    let quick = not full in
+    (* experiments compute tables silently, so sharding them across
+       domains and printing in catalogue order afterwards emits
+       byte-identical output to the sequential path *)
+    let results =
+      Chorus_par.Pool.map ~domains selected (fun e ->
+          e.Experiments.run ~quick ~seed)
+    in
+    List.iter2
+      (fun e tables ->
         Printf.printf "--- %s: %s ---\nclaim: %s\n%!"
           (String.uppercase_ascii e.Experiments.id)
           e.Experiments.title e.Experiments.claim;
-        let tables = e.Experiments.run ~quick ~seed in
         List.iter
           (fun t ->
             Tablefmt.print t;
@@ -89,10 +113,10 @@ let run_cmd =
               output_string oc (Tablefmt.to_csv t);
               close_out oc)
           tables)
-      selected
+      selected results
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ ids_arg $ full_arg $ seed_arg $ csv_arg)
+    Term.(const run $ ids_arg $ full_arg $ seed_arg $ csv_arg $ domains_arg)
 
 (* --------------------------------------------------------------- *)
 (* shared bits: --json rendering via the Inspect value type          *)
@@ -631,10 +655,12 @@ let chaos_cmd =
             "Also plant a history corruption and verify the oracles \
              catch, shrink and replay it.")
   in
-  let go disk_runs kv_runs projfs_runs lease_runs selftest seed =
+  let go disk_runs kv_runs projfs_runs lease_runs selftest seed domains =
+    let domains = resolve_domains domains in
     let t0 = Unix.gettimeofday () in
     let r =
-      Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~lease_runs ~seed ()
+      Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~lease_runs ~domains
+        ~seed ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     let t =
@@ -651,6 +677,9 @@ let chaos_cmd =
       (fun (k, n) -> addi (Printf.sprintf "faults explored: %s" k) n)
       r.Chaos.kinds;
     addi "oracle violations" (List.length r.Chaos.violations);
+    Tablefmt.add_row t
+      [ "campaign digest"; r.Chaos.campaign_digest ];
+    addi "domains (host)" domains;
     Tablefmt.add_row t
       [ "runs/sec (host)"; Printf.sprintf "%.1f" (float_of_int r.Chaos.runs /. dt) ];
     Tablefmt.print t;
@@ -683,7 +712,7 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const go $ disk_arg $ kv_arg $ projfs_arg $ lease_arg $ selftest_arg
-      $ seed_arg)
+      $ seed_arg $ domains_arg)
 
 (* --------------------------------------------------------------- *)
 (* replay: time-travel debugging over the chaos scenarios            *)

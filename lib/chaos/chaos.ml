@@ -937,59 +937,74 @@ type report = {
   faults_injected : int;
   kinds : (string * int) list;
   violations : violation list;
+  campaign_digest : string;
 }
 
+(* Campaigns shard across domains: schedules are generated host-side
+   (cheap, deterministic), each worker runs whole explorations — run,
+   replay-verify, shrink — for the task indices it claims, and the
+   merge walks the results in task order.  Task order is exactly the
+   order of the old sequential loops (disk, kv, projfs, lease), so
+   every aggregate — counts, kind histogram, violation list,
+   campaign digest — is byte-identical at any [domains]. *)
 let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0)
-    ?(lease_runs = 0) ~seed () =
+    ?(lease_runs = 0) ?(domains = 1) ~seed () =
+  let tasks =
+    Array.of_list
+      (List.concat
+         [ List.init disk_runs (fun i -> (Disk, i));
+           List.init kv_runs (fun i -> (Kv, i));
+           List.init projfs_runs (fun i -> (Projfs, i));
+           List.init lease_runs (fun i -> (Kv_lease, i)) ])
+  in
+  let explore ti =
+    let scenario, index = tasks.(ti) in
+    let sch = gen scenario ~seed ~index in
+    let o = run_one scenario sch in
+    let viol =
+      if o.violations = [] then None
+      else begin
+        (* a violation must replay from its schedule alone, and its
+           shrunk form must still violate — otherwise the "reproducer"
+           is worthless and we say so *)
+        let o2 = run_one scenario sch in
+        let minimal = shrink scenario sch in
+        let om = run_one scenario minimal in
+        Some
+          { vscenario = scenario;
+            schedule = sch;
+            minimal;
+            first = List.hd o.violations;
+            replay_identical =
+              String.equal o.digest o2.digest && om.violations <> [] }
+      end
+    in
+    (sch, o, viol)
+  in
+  let results =
+    Chorus_par.Pool.run ~domains ~tasks:(Array.length tasks) explore
+  in
   let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump k =
     Hashtbl.replace kinds k (1 + Option.value ~default:0 (Hashtbl.find_opt kinds k))
   in
-  let runs = ref 0
-  and injected = ref 0
+  let injected = ref 0
   and total_ops = ref 0
-  and violations = ref [] in
-  let explore scenario sch =
-    incr runs;
-    List.iter (fun f -> bump (Schedule.kind f)) sch.Schedule.faults;
-    let o = run_one scenario sch in
-    injected := !injected + o.injected;
-    total_ops := !total_ops + o.ops;
-    if o.violations <> [] then begin
-      (* a violation must replay from its schedule alone, and its
-         shrunk form must still violate — otherwise the "reproducer"
-         is worthless and we say so *)
-      let o2 = run_one scenario sch in
-      let minimal = shrink scenario sch in
-      let om = run_one scenario minimal in
-      violations :=
-        { vscenario = scenario;
-          schedule = sch;
-          minimal;
-          first = List.hd o.violations;
-          replay_identical =
-            String.equal o.digest o2.digest && om.violations <> [] }
-        :: !violations
-    end
-  in
-  for i = 0 to disk_runs - 1 do
-    explore Disk (gen Disk ~seed ~index:i)
-  done;
-  for i = 0 to kv_runs - 1 do
-    explore Kv (gen Kv ~seed ~index:i)
-  done;
-  for i = 0 to projfs_runs - 1 do
-    explore Projfs (gen Projfs ~seed ~index:i)
-  done;
-  for i = 0 to lease_runs - 1 do
-    explore Kv_lease (gen Kv_lease ~seed ~index:i)
-  done;
-  { runs = !runs;
+  and digests = Buffer.create 256 in
+  List.iter
+    (fun (sch, o, _) ->
+      List.iter (fun f -> bump (Schedule.kind f)) sch.Schedule.faults;
+      injected := !injected + o.injected;
+      total_ops := !total_ops + o.ops;
+      Buffer.add_string digests o.digest)
+    results;
+  { runs = Array.length tasks;
     total_ops = !total_ops;
     faults_injected = !injected;
     kinds =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
-    violations = List.rev !violations }
+    violations = List.filter_map (fun (_, _, v) -> v) results;
+    campaign_digest = Digest.to_hex (Digest.string (Buffer.contents digests)) }
 
 type selftest_result = {
   caught : bool;

@@ -129,17 +129,25 @@ type report = {
   kinds : (string * int) list;
       (** faults explored per {!Schedule.kind}, alphabetical *)
   violations : violation list;
+  campaign_digest : string;
+      (** hex digest over every run's outcome digest in task order —
+          two campaigns merged identically iff these are equal, which
+          is how the N-domain determinism gate compares shardings *)
 }
 
 val campaign :
   ?disk_runs:int -> ?kv_runs:int -> ?projfs_runs:int -> ?lease_runs:int ->
-  seed:int -> unit -> report
+  ?domains:int -> seed:int -> unit -> report
 (** Enumerate and run [disk_runs] {!Disk} schedules (default 24),
     [kv_runs] {!Kv} schedules (default 8), [projfs_runs] {!Projfs}
     schedules and [lease_runs] {!Kv_lease} schedules (both default 0 —
     opt-in, so the standing chaos benchmark's record is unchanged),
     checking every oracle after every run; violations are
-    replay-verified and shrunk. *)
+    replay-verified and shrunk.  [domains] (default 1) shards the runs
+    across a {!Chorus_par.Pool}: every run is an independent engine
+    with its own context, and results merge in task order, so the
+    report — digest included — is byte-identical at any domain
+    count. *)
 
 type selftest_result = {
   caught : bool;  (** the planted violation was detected *)

@@ -62,6 +62,7 @@ type config = {
 
 type t = {
   config : config;
+  ctx : Ctx.t;  (** per-run slot bindings (inspect registry, metrics, …) *)
   machine : Machine.t;
   policy : Policy.t;
   rng : Rng.t;
@@ -79,6 +80,7 @@ type t = {
   mutable live : int;
   mutable live_nondaemon : int;
   mutable main_crash : exn option;
+  mutable started : bool;
   mutable fibers : fiber list;  (** registry for deadlock reports *)
   cnt : counters;
 }
@@ -96,7 +98,10 @@ let create (config : config) =
   let cmp (t1, s1) (t2, s2) =
     if t1 <> t2 then compare t1 t2 else compare s1 s2
   in
+  let ctx = Ctx.create () in
+  Inspect.attach ctx (Inspect.create_registry ());
   { config;
+    ctx;
     machine = config.machine;
     policy = config.policy;
     rng;
@@ -117,6 +122,7 @@ let create (config : config) =
     live = 0;
     live_nondaemon = 0;
     main_crash = None;
+    started = false;
     fibers = [];
     cnt =
       { msgs = 0; remote_msgs = 0; words_copied = 0; hops = 0; spawns = 0;
@@ -124,6 +130,8 @@ let create (config : config) =
   }
 
 let machine t = t.machine
+
+let ctx t = t.ctx
 
 let costs t = Machine.costs t.machine
 
@@ -380,13 +388,20 @@ let wake_at_gen t w time v_or_e =
   end
 
 (* wake_at / wake_err_at need the engine; wakers are only ever used
-   within one run, so we stash the engine in a global for the run. *)
-let current_engine : t option ref = ref None
+   within one run.  Each domain keeps a stack of the engines it is
+   stepping (a stack, not a slot: [run_until] on engine A can in
+   principle be interleaved with stepping engine B from the same
+   top-level driver, and timer callbacks always resolve to the engine
+   whose event loop invoked them).  Per-domain state means two domains
+   can each run their own engine concurrently without sharing
+   anything. *)
+let stepping_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let current () =
-  match !current_engine with
-  | Some t -> t
-  | None -> failwith "Chorus.Engine.current: no run in progress"
+  match !(Domain.DLS.get stepping_key) with
+  | t :: _ -> t
+  | [] -> failwith "Chorus.Engine.current: no run in progress"
 
 let wake_at w time v = wake_at_gen (current ()) w time (Ok v)
 
@@ -508,19 +523,30 @@ let deadlock_report t =
   Buffer.contents buf
 
 let start t main =
-  if !current_engine <> None then
+  if !(Domain.DLS.get stepping_key) <> [] then
     failwith "Engine.start: nested runs are not supported";
-  current_engine := Some t;
-  Inspect.reset ();
+  if t.started then failwith "Engine.start: engine already started";
+  t.started <- true;
+  (* install-then-run: bindings made on this domain before the run
+     (metrics registry, trace factory, crash points) become part of
+     the run's own context *)
+  Ctx.adopt_ambient t.ctx;
   let (_ : fiber) = spawn t ~on:0 ~label:"main" main in
   ()
 
-let stop t =
-  match !current_engine with
-  | Some u when u == t -> current_engine := None
-  | Some _ | None -> ()
+let stop t = t.started <- false
 
 let step_until t limit =
+  let stack = Domain.DLS.get stepping_key in
+  stack := t :: !stack;
+  let prev_ctx = Ctx.activate (Some t.ctx) in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !stack with
+      | u :: rest when u == t -> stack := rest
+      | _ -> assert false);
+      ignore (Ctx.activate prev_ctx))
+  @@ fun () ->
   let rec loop () =
     match Pqueue.min t.events with
     | None -> ()
@@ -544,10 +570,8 @@ let step_until t limit =
   loop ()
 
 let run_until t limit =
-  (match !current_engine with
-  | Some u when u == t -> ()
-  | Some _ | None ->
-    failwith "Engine.run_until: engine not started (call Engine.start)");
+  if not t.started then
+    failwith "Engine.run_until: engine not started (call Engine.start)";
   step_until t limit
 
 let drained t = Pqueue.is_empty t.events

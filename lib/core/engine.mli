@@ -50,6 +50,13 @@ val default_config : Chorus_machine.Machine.t -> config
 
 val create : config -> t
 
+val ctx : t -> Ctx.t
+(** The engine's per-run context: slot bindings (Inspect registry,
+    metrics registry, crash points, …) scoped to this run.  Active on
+    the stepping domain while the engine processes events; read it
+    explicitly ({!Chorus.Inspect.snapshot_in}) while a stepped run is
+    paused. *)
+
 val run : t -> (unit -> unit) -> unit
 (** [run t main] spawns [main] as fiber 0 on core 0 and processes
     events until none remain.  Raises [Deadlock] as described above,
@@ -59,8 +66,9 @@ val run : t -> (unit -> unit) -> unit
     monitors (supervision is a feature, not an accident). *)
 
 val current : unit -> t
-(** The engine executing the calling fiber.  Raises [Failure] outside
-    of [run]. *)
+(** The engine whose events the calling domain is currently stepping
+    (per-domain, so concurrent engines on different domains each see
+    their own).  Raises [Failure] outside of [run]. *)
 
 (** {1 Stepped execution (the time-travel replay surface)}
 
@@ -81,9 +89,13 @@ val current : unit -> t
     machine state "at end of cycle T". *)
 
 val start : t -> (unit -> unit) -> unit
-(** Spawn [main] as fiber 0 on core 0 and make [t] the current engine
-    without processing any event.  Clears the {!Inspect} provider
-    registry.  Fails if another run is in progress. *)
+(** Spawn [main] as fiber 0 on core 0 without processing any event,
+    and adopt the domain's ambient {!Ctx} bindings (installed metrics
+    registry, trace factory, crash points) into the engine's context.
+    Fails if called from inside a running fiber (nested runs stay
+    unsupported) or if [t] was already started.  Several started
+    engines may coexist — interleave their {!run_until}s freely, or
+    run them concurrently from different domains. *)
 
 val run_until : t -> int -> unit
 (** [run_until t limit] processes every pending event with virtual
@@ -95,13 +107,12 @@ val run_until : t -> int -> unit
 
 val finish : t -> unit
 (** Drain every remaining event, then apply {!run}'s end-of-run
-    checks (main-fiber crash re-raise, deadlock detection) and release
-    the current-engine slot. *)
+    checks (main-fiber crash re-raise, deadlock detection) and mark
+    the run over. *)
 
 val stop : t -> unit
-(** Abandon a stepped run: release the current-engine slot without
-    draining or checking anything.  Idempotent; a no-op when [t] is
-    not the current engine. *)
+(** Abandon a stepped run: mark it over without draining or checking
+    anything.  Idempotent. *)
 
 val drained : t -> bool
 (** No events pending. *)

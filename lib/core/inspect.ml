@@ -14,19 +14,46 @@ type value =
    itself deterministic because everything that registers does so from
    inside a deterministic run.  [snapshot] sorts by name (stable, so
    duplicate names keep registration order) to decouple the dump from
-   incidental creation order. *)
-let providers : (string * (unit -> value)) list ref = ref []
+   incidental creation order.
 
-let register ~name f = providers := (name, f) :: !providers
+   The registry lives in the run's {!Ctx}: every engine binds a fresh
+   one at creation, so two engines in one process never see each
+   other's providers.  [register] keeps its old arity by targeting the
+   context of whichever engine the calling domain is stepping; outside
+   any run it is a no-op (there is no registry to describe state to,
+   exactly as [reset]-at-start used to guarantee). *)
+type registry = (string * (unit -> value)) list ref
 
-let reset () = providers := []
+let slot : registry Ctx.slot = Ctx.slot "inspect.registry"
 
-let registered () = List.length !providers
+let create_registry () : registry = ref []
 
-let snapshot () =
+let attach ctx r = Ctx.set_in ctx slot r
+
+let register ~name f =
+  match Ctx.get slot with
+  | None -> ()
+  | Some providers -> providers := (name, f) :: !providers
+
+let registered () =
+  match Ctx.get slot with
+  | None -> 0
+  | Some providers -> List.length !providers
+
+let sorted_snapshot providers =
   List.stable_sort
     (fun (a, _) (b, _) -> compare a b)
     (List.rev_map (fun (name, f) -> (name, f ())) !providers)
+
+let snapshot () =
+  match Ctx.get slot with
+  | None -> []
+  | Some providers -> sorted_snapshot providers
+
+let snapshot_in ctx =
+  match Ctx.get_in ctx slot with
+  | None -> []
+  | Some providers -> sorted_snapshot providers
 
 (* ------------------------------------------------------------------ *)
 (* Text rendering                                                      *)

@@ -13,9 +13,10 @@
 
     Providers are host-side only: registering one never charges cycles
     or advances virtual time, so an inspected run is byte-identical to
-    an uninspected one.  The registry is cleared at the start of every
-    {!Engine.run} / {!Engine.start}, so providers never outlive the run
-    whose objects they describe. *)
+    an uninspected one.  The registry is per-engine — bound in the
+    engine's {!Ctx} at creation — so providers never outlive the run
+    whose objects they describe and two engines in one process (even
+    on different domains) never see each other's providers. *)
 
 type value =
   | Null
@@ -28,20 +29,34 @@ type value =
 
 (** {1 Provider registry} *)
 
-val register : name:string -> (unit -> value) -> unit
-(** [register ~name f] adds a provider.  Use ["/"]-separated names
-    (["svc/chaos.store"], ["cluster/node2"]); {!snapshot} sorts by
-    name.  The thunk is called only when a snapshot is taken and must
-    not block, charge or suspend. *)
+type registry
+(** One run's providers.  Engines create and bind one in their context
+    at {!Engine.create}; reach it with {!snapshot_in} when the run is
+    paused rather than stepping. *)
 
-val reset : unit -> unit
-(** Drop every provider (called by the engine at run start). *)
+val create_registry : unit -> registry
+
+val attach : Ctx.t -> registry -> unit
+(** Bind [registry] as the context's provider registry (done by
+    {!Engine.create}). *)
+
+val register : name:string -> (unit -> value) -> unit
+(** [register ~name f] adds a provider to the registry of the engine
+    the calling domain is currently stepping.  Use ["/"]-separated
+    names (["svc/chaos.store"], ["cluster/node2"]); {!snapshot} sorts
+    by name.  The thunk is called only when a snapshot is taken and
+    must not block, charge or suspend.  A no-op outside any run. *)
 
 val registered : unit -> int
 
 val snapshot : unit -> (string * value) list
-(** Evaluate every provider, sorted by name (stable for duplicates) —
-    deterministic for a deterministic run paused at a fixed time. *)
+(** Evaluate every provider of the currently-stepping engine, sorted
+    by name (stable for duplicates) — deterministic for a
+    deterministic run paused at a fixed time.  Empty outside a run. *)
+
+val snapshot_in : Ctx.t -> (string * value) list
+(** Like {!snapshot} but against an explicit (engine) context — what
+    the replay debugger uses while a stepped run is paused. *)
 
 (** {1 Rendering} *)
 

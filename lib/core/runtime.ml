@@ -14,17 +14,22 @@ let config ?(policy = Chorus_sched.Policy.parent) ?(seed = 42) ?trace
    no explicit sink asks the factory for one.  The factory is invoked
    once per run, so a profiler gets a fresh (ring) buffer per simulated
    run and can tell runs apart.  This is how `chorus_sim profile`
-   observes experiments that build their own configs internally. *)
-let default_trace : (unit -> Trace.sink) option ref = ref None
+   observes experiments that build their own configs internally.  A Ctx
+   slot rather than a global: installed ambiently on the profiling
+   domain, invisible to every other domain. *)
+let default_trace : (unit -> Trace.sink) Ctx.slot =
+  Ctx.slot "runtime.default_trace"
 
-let set_default_trace f = default_trace := f
+let set_default_trace = function
+  | Some f -> Ctx.set default_trace f
+  | None -> Ctx.clear default_trace
 
 let engine_config (c : config) : Engine.config =
   let trace =
     match c.trace with
     | Some _ as s -> s
     | None -> (
-      match !default_trace with
+      match Ctx.get default_trace with
       | None -> None
       | Some factory -> Some (factory ()))
   in

@@ -31,15 +31,18 @@ let value_of_metrics snap =
        snap)
 
 let capture ?at eng =
+  (* a paused stepped run is not "current" on any domain, so read the
+     inspect providers and metrics out of the engine's own context *)
+  let ctx = Engine.ctx eng in
   let metrics =
-    match Metrics.installed () with
+    match Metrics.installed_in ctx with
     | None -> Inspect.Null
     | Some reg -> value_of_metrics (Metrics.snapshot reg)
   in
   Inspect.Assoc
     [ ("at", Inspect.Int (match at with Some a -> a | None -> Engine.now eng));
       ("engine", Engine.inspect eng);
-      ("subsystems", Inspect.Assoc (Inspect.snapshot ()));
+      ("subsystems", Inspect.Assoc (Inspect.snapshot_in ctx));
       ("metrics", metrics) ]
 
 let render = Inspect.render

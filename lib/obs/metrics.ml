@@ -16,13 +16,20 @@ type t = { tbl : ((string * string), metric) Hashtbl.t }
 
 let create () = { tbl = Hashtbl.create 64 }
 
-let current : t option ref = ref None
+(* The "installed registry" is a Ctx slot, not a global: installed
+   before a run it binds in the installing domain's ambient context and
+   is adopted into the engine's context at Engine.start, so handle
+   creation from inside the run finds it while concurrent runs on
+   other domains see nothing. *)
+let slot : t Chorus.Ctx.slot = Chorus.Ctx.slot "obs.metrics"
 
-let install r = current := Some r
+let install r = Chorus.Ctx.set slot r
 
-let uninstall () = current := None
+let uninstall () = Chorus.Ctx.clear slot
 
-let installed () = !current
+let installed () = Chorus.Ctx.get slot
+
+let installed_in ctx = Chorus.Ctx.get_in ctx slot
 
 let reset r = Hashtbl.reset r.tbl
 
@@ -37,7 +44,7 @@ type gauge = gauge_state option
 type histogram = Histogram.t option
 
 let find_or_register ~subsystem name make get =
-  match !current with
+  match installed () with
   | None -> None
   | Some r -> (
     let key = (subsystem, name) in

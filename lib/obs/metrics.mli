@@ -17,11 +17,19 @@ type t
 val create : unit -> t
 
 val install : t -> unit
-(** Make [t] the ambient registry that handle creation binds to. *)
+(** Make [t] the registry that handle creation binds to: for the
+    current run when called from inside one, otherwise for the calling
+    domain's ambient context (whence {!Chorus.Engine.start} adopts it
+    into the run — install, then boot, as before).  Never visible to
+    other domains. *)
 
 val uninstall : unit -> unit
 
 val installed : unit -> t option
+
+val installed_in : Chorus.Ctx.t -> t option
+(** The registry bound in an explicit (engine) context — what the
+    replay debugger reads while a stepped run is paused. *)
 
 val reset : t -> unit
 (** Drop every registered metric (handles bound to them go stale). *)

@@ -1,0 +1,82 @@
+(* A fixed domain pool for sharding independent deterministic runs
+   (chaos schedules, experiment sweeps, bench sections) across OCaml 5
+   domains.
+
+   Work distribution is a single atomic next-index counter: workers
+   claim task indices in whatever order the host schedules them, but
+   every result lands in a results array at its task index, so the
+   merged output is always in task order — byte-identical aggregates
+   regardless of how many domains ran or how the host interleaved
+   them.  Determinism is the caller's contract (each task must be a
+   pure function of its index, e.g. a seeded simulation); the pool's
+   contract is order-preserving merge and all-or-first-error
+   completion.
+
+   The calling domain participates as a worker (bracketed with a clean
+   ambient Ctx so it observes the same empty ambient state as the
+   spawned domains), so [domains = n] uses exactly [n] cores and
+   [domains = 1] degenerates to a plain inline loop with no spawn at
+   all. *)
+
+let recommended () = Domain.recommended_domain_count ()
+
+exception Task_failed of int * exn
+
+let run (type a) ?(domains = 1) ~tasks (f : int -> a) : a list =
+  if domains < 1 then invalid_arg "Pool.run: domains must be >= 1";
+  if tasks < 0 then invalid_arg "Pool.run: negative task count";
+  if tasks = 0 then []
+  else if domains = 1 then
+    (* same failure contract as the parallel path: callers always see
+       Task_failed with the failing index, never the bare exception *)
+    List.init tasks (fun i ->
+        match f i with
+        | v -> v
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Printexc.raise_with_backtrace (Task_failed (i, e)) bt)
+  else begin
+    let results : a option array = Array.make tasks None in
+    let next = Atomic.make 0 in
+    (* first failure wins; remaining workers drain the counter and
+       stop claiming once they see the flag *)
+    let failed : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let worker () =
+      let rec claim () =
+        if Atomic.get failed = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < tasks then begin
+            (match f i with
+            | v -> results.(i) <- Some v
+            | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore
+                (Atomic.compare_and_set failed None (Some (i, e, bt))));
+            claim ()
+          end
+        end
+      in
+      claim ()
+    in
+    let spawned =
+      Array.init
+        (min (domains - 1) (tasks - 1))
+        (fun _ -> Domain.spawn (fun () -> Chorus.Ctx.with_clean_ambient worker))
+    in
+    Chorus.Ctx.with_clean_ambient worker;
+    Array.iter Domain.join spawned;
+    (match Atomic.get failed with
+    | Some (i, e, bt) ->
+      Printexc.raise_with_backtrace (Task_failed (i, e)) bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false)
+         results)
+  end
+
+let map ?domains items f =
+  let arr = Array.of_list items in
+  run ?domains ~tasks:(Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,33 @@
+(** A fixed domain pool for sharding independent deterministic runs —
+    chaos schedules, experiment sweeps, bench sections — across OCaml 5
+    domains.
+
+    Each task is a pure function of its index (seeded simulations are:
+    every Chorus run carries its own engine, RNG and {!Chorus.Ctx}, so
+    runs on different domains share nothing).  Workers claim indices
+    from an atomic counter; results land in task-index order, so the
+    merged list is byte-identical no matter how many domains ran or how
+    the host interleaved them.  Only wall-clock time varies with
+    [domains]. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — what [--domains 0] means. *)
+
+exception Task_failed of int * exn
+(** [Task_failed (i, e)]: task [i] raised [e].  The first failure (in
+    claim order) wins; remaining workers stop claiming and the pool
+    re-raises after every domain has joined.  The inline [domains = 1]
+    path wraps failures the same way, so the contract is uniform. *)
+
+val run : ?domains:int -> tasks:int -> (int -> 'a) -> 'a list
+(** [run ~domains ~tasks f] evaluates [f 0 .. f (tasks-1)] on
+    [domains] cores (the caller participates; [domains - 1] domains
+    are spawned, never more than [tasks - 1]) and returns the results
+    in task order.  [domains = 1] (the default) is a plain inline loop
+    with no spawn at all.  Every worker — spawned or caller — runs
+    with a fresh ambient {!Chorus.Ctx}, so ambient installs made by
+    the caller (metrics, trace factories) do not leak into shards.
+    Raises [Invalid_argument] if [domains < 1]. *)
+
+val map : ?domains:int -> 'a list -> ('a -> 'b) -> 'b list
+(** [map ~domains items f] = [run] over the items of a list. *)

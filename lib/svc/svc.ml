@@ -30,14 +30,20 @@ let config ?(capacity = 0) ?(policy = `Block) () = { capacity; policy }
 exception Busy
 
 (* The ambient crash-point hook: consulted at every serve/serve_cast
-   dequeue boundary.  A single ref read when uninstalled, so the plane
-   costs nothing outside chaos campaigns. *)
-let crashpoint : (string -> unit) option ref = ref None
+   dequeue boundary.  A Ctx slot, so a chaos worker arming a crash
+   point from inside its run binds it in that run's context only —
+   campaigns on other domains never observe it.  One small slot lookup
+   when unarmed, so the plane stays near-free outside chaos
+   campaigns. *)
+let crashpoint : (string -> unit) Chorus.Ctx.slot =
+  Chorus.Ctx.slot "svc.crashpoint"
 
-let set_crashpoint f = crashpoint := f
+let set_crashpoint = function
+  | Some f -> Chorus.Ctx.set crashpoint f
+  | None -> Chorus.Ctx.clear crashpoint
 
 let hit_crashpoint name =
-  match !crashpoint with None -> () | Some f -> f name
+  match Chorus.Ctx.get crashpoint with None -> () | Some f -> f name
 
 type 'msg cast = {
   inbox : 'msg Chan.t;
