@@ -1,5 +1,5 @@
 .PHONY: all build test fmt doc lint-loops lint-globals ci bench chaos-smoke \
-	bench-guard replay-smoke vfs-smoke cluster-smoke
+	bench-guard replay-smoke vfs-smoke cluster-smoke gray-smoke
 
 all: build
 
@@ -97,6 +97,24 @@ cluster-smoke:
 	dune exec bin/chorus_sim.exe -- chaos --disk-runs 0 --kv-runs 0 \
 		--lease-runs 8 --seed 11
 
+# Gray-failure gate: a short gray chaos campaign (per-link delay and
+# asymmetric partition windows against breaker/deadline clients; the
+# fail-fast liveness oracle runs beside linearizability and both must
+# stay green) plus a pinned mid-window gray replay snapshot diffed
+# byte-for-byte against the checked-in golden (regenerate with the
+# second command below if a format change is intentional).
+GRAY_SCHED := seed=11 link-delay(0>1,p=0.65,200000cy)@1150000+600000 partition(2>0)@1300000+400000
+gray-smoke:
+	@dune exec bin/chorus_sim.exe -- chaos --disk-runs 0 --kv-runs 0 \
+		--gray-runs 12 --seed 11; \
+	dune exec bin/chorus_sim.exe -- replay --scenario gray \
+		--schedule '$(GRAY_SCHED)' --at 1500000 > _build/gray_smoke.txt; \
+	if ! diff -u test/golden/replay_gray_t1500000.txt _build/gray_smoke.txt; then \
+		echo "gray-smoke: snapshot drifted from the golden (diff above)"; \
+		exit 1; \
+	fi; \
+	echo "gray-smoke: OK"
+
 # Compare the committed BENCH_*.json baselines against a fresh
 # regeneration of their deterministic fields.
 bench-guard:
@@ -141,4 +159,4 @@ vfs-smoke:
 	echo "vfs-smoke: OK"
 
 ci: build test fmt doc lint-loops lint-globals chaos-smoke replay-smoke \
-	vfs-smoke cluster-smoke
+	vfs-smoke cluster-smoke gray-smoke

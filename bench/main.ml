@@ -581,6 +581,104 @@ let write_vfs_json file =
   close_out oc;
   Printf.printf "\nwrote %s\n" file
 
+(* ------------------------------------------------------------------ *)
+(* Part 8: gray failure                                                *)
+
+(* The E25 posture grid (healthy fabric + gray node, four client
+   postures each) plus the gray chaos campaign at acceptance scale.
+   The headline numbers: breakers+deadlines p99 under the gray node
+   must undercut baseline's, and the campaign's oracle violations must
+   be 0.  Everything except host_* is a pure function of the seed. *)
+let write_gray_json file =
+  let module E25 = Chorus_experiments.E25_gray in
+  let module Chaos = Chorus_chaos.Chaos in
+  print_endline "\n=====================================================";
+  print_endline " Gray failure: breakers, deadlines, liveness oracle";
+  print_endline "=====================================================\n";
+  let points =
+    List.concat_map
+      (fun gray ->
+        List.map
+          (fun (breakers, deadlines) ->
+            let p =
+              E25.run_point ~quick:true ~seed:42 ~gray ~breakers
+                ~deadlines ()
+            in
+            Printf.printf
+              "  gray=%-5b %-18s  done %d  fail %d  p99 %d  max %d  \
+               misses %d  trips %d\n"
+              gray
+              (E25.posture_name ~breakers ~deadlines)
+              p.E25.completed p.E25.failed p.E25.p99 p.E25.pmax
+              p.E25.misses p.E25.trips;
+            p)
+          [ (false, false); (false, true); (true, false); (true, true) ])
+      [ false; true ]
+  in
+  let gray_runs = 50 and seed = 42 in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Chaos.campaign ~disk_runs:0 ~kv_runs:0 ~gray_runs ~seed ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "\nchaos: %d gray runs  ops %d  injected %d  violations %d  \
+     (%.1f runs/sec host)\n"
+    r.Chaos.runs r.Chaos.total_ops r.Chaos.faults_injected
+    (List.length r.Chaos.violations)
+    (float_of_int r.Chaos.runs /. dt);
+  if r.Chaos.violations <> [] then begin
+    List.iter
+      (fun v -> Printf.eprintf "VIOLATION: %s\n" v.Chaos.first)
+      r.Chaos.violations;
+    Printf.eprintf "FATAL: gray campaign must pass every oracle\n";
+    exit 1
+  end;
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"schema\": \"chorus-bench-gray-v1\",\n";
+  Buffer.add_string b "  \"seed\": 42,\n";
+  Buffer.add_string b "  \"postures\": [";
+  List.iteri
+    (fun i (p : E25.point) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    { \"gray\": %b, \"breakers\": %b, \"deadlines\": %b, \
+            \"completed\": %d, \"failed\": %d, \"p50_cycles\": %d, \
+            \"p99_cycles\": %d, \"max_cycles\": %d, \
+            \"deadline_misses\": %d, \"breaker_trips\": %d, \
+            \"breaker_skips\": %d, \"link_delayed\": %d }"
+           p.E25.gray p.E25.breakers p.E25.deadlines p.E25.completed
+           p.E25.failed p.E25.p50 p.E25.p99 p.E25.pmax p.E25.misses
+           p.E25.trips p.E25.skips p.E25.link_delayed))
+    points;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"chaos\": {\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"gray_runs\": %d,\n" gray_runs);
+  Buffer.add_string b
+    (Printf.sprintf "    \"client_ops\": %d,\n" r.Chaos.total_ops);
+  Buffer.add_string b
+    (Printf.sprintf "    \"faults_injected\": %d,\n" r.Chaos.faults_injected);
+  Buffer.add_string b "    \"faults_explored\": {";
+  List.iteri
+    (fun i (kind, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n      \"%s\": %d" kind n))
+    r.Chaos.kinds;
+  Buffer.add_string b "\n    },\n";
+  Buffer.add_string b
+    (Printf.sprintf "    \"oracle_violations\": %d,\n"
+       (List.length r.Chaos.violations));
+  Buffer.add_string b
+    (Printf.sprintf "    \"campaign_digest\": \"%s\"\n"
+       r.Chaos.campaign_digest);
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv in
   (* --domains N: width of the parallel chaos measurement (0 = auto).
@@ -605,6 +703,7 @@ let () =
   else if List.mem "--chaos-only" args then
     write_chaos_json ~domains "BENCH_chaos.json"
   else if List.mem "--vfs-only" args then write_vfs_json "BENCH_vfs.json"
+  else if List.mem "--gray-only" args then write_gray_json "BENCH_gray.json"
   else if List.mem "--cluster-only" args then
     write_cluster_json "BENCH_cluster.json"
   else begin
@@ -617,6 +716,7 @@ let () =
       write_cluster_json "BENCH_cluster.json";
       write_overload_json "BENCH_overload.json";
       write_chaos_json ~domains "BENCH_chaos.json";
-      write_vfs_json "BENCH_vfs.json"
+      write_vfs_json "BENCH_vfs.json";
+      write_gray_json "BENCH_gray.json"
     end
   end

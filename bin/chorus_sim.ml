@@ -647,6 +647,16 @@ let chaos_cmd =
              path under leader kills and partition-ish fabric faults; \
              the linearizability oracle vetoes stale leased reads).")
   in
+  let gray_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "gray-runs" ]
+          ~doc:
+            "Gray-failure schedules to explore (per-link delay and \
+             asymmetric partition windows against clients running \
+             circuit breakers and per-op deadline budgets; the \
+             fail-fast liveness oracle joins linearizability).")
+  in
   let selftest_arg =
     Arg.(
       value & flag
@@ -655,12 +665,13 @@ let chaos_cmd =
             "Also plant a history corruption and verify the oracles \
              catch, shrink and replay it.")
   in
-  let go disk_runs kv_runs projfs_runs lease_runs selftest seed domains =
+  let go disk_runs kv_runs projfs_runs lease_runs gray_runs selftest seed
+      domains =
     let domains = resolve_domains domains in
     let t0 = Unix.gettimeofday () in
     let r =
-      Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~lease_runs ~domains
-        ~seed ()
+      Chaos.campaign ~disk_runs ~kv_runs ~projfs_runs ~lease_runs ~gray_runs
+        ~domains ~seed ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     let t =
@@ -690,7 +701,8 @@ let chaos_cmd =
           | Chaos.Disk -> "disk"
           | Chaos.Kv -> "kv"
           | Chaos.Kv_lease -> "kv-lease"
-          | Chaos.Projfs -> "projfs")
+          | Chaos.Projfs -> "projfs"
+          | Chaos.Gray -> "gray")
           v.Chaos.first
           (Schedule.to_string v.Chaos.schedule)
           (Schedule.to_string v.Chaos.minimal)
@@ -711,8 +723,8 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const go $ disk_arg $ kv_arg $ projfs_arg $ lease_arg $ selftest_arg
-      $ seed_arg $ domains_arg)
+      const go $ disk_arg $ kv_arg $ projfs_arg $ lease_arg $ gray_arg
+      $ selftest_arg $ seed_arg $ domains_arg)
 
 (* --------------------------------------------------------------- *)
 (* replay: time-travel debugging over the chaos scenarios            *)
@@ -737,7 +749,8 @@ let replay_cmd =
       & info [ "scenario" ] ~docv:"NAME"
           ~doc:
             "Chaos scenario: $(b,disk), $(b,cluster) (alias $(b,kv)), \
-             $(b,lease) (alias $(b,kv-lease)) or $(b,projfs).")
+             $(b,lease) (alias $(b,kv-lease)), $(b,projfs) or \
+             $(b,gray).")
   in
   let index_arg =
     Arg.(
@@ -799,8 +812,10 @@ let replay_cmd =
       | "cluster" | "kv" -> Chaos.Kv
       | "lease" | "kv-lease" -> Chaos.Kv_lease
       | "projfs" -> Chaos.Projfs
+      | "gray" -> Chaos.Gray
       | s ->
-        Printf.eprintf "unknown scenario %S (disk|cluster|lease|projfs)\n" s;
+        Printf.eprintf
+          "unknown scenario %S (disk|cluster|lease|projfs|gray)\n" s;
         exit 2
     in
     let sch =
@@ -817,7 +832,8 @@ let replay_cmd =
           | Chaos.Disk -> "disk"
           | Chaos.Kv -> "cluster"
           | Chaos.Kv_lease -> "kv-lease"
-          | Chaos.Projfs -> "projfs")
+          | Chaos.Projfs -> "projfs"
+          | Chaos.Gray -> "gray")
           (Schedule.to_string sch) at
           (List.length r.Replay.trace);
         print_string (Snapshot.render r.Replay.snapshot)

@@ -44,7 +44,7 @@ module Msgvfs = Chorus_kernel.Msgvfs
 module Provider = Chorus_projfs.Provider
 module Projfs = Chorus_projfs.Projfs
 
-type scenario = Disk | Kv | Kv_lease | Projfs
+type scenario = Disk | Kv | Kv_lease | Projfs | Gray
 
 type outcome = {
   digest : string;
@@ -257,7 +257,7 @@ let prepare_disk ~corrupt (sch : Schedule.t) =
               History.return_ hist op
                 (one_shot (Get key) (function
                   | `Ok (Val vo) -> History.Value vo
-                  | `Ok Ack | `Busy -> History.Lost))
+                  | `Ok Ack | `Busy | `Expired -> History.Lost))
             end
             else begin
               let v = Printf.sprintf "p%d-%d" proc i in
@@ -267,7 +267,7 @@ let prepare_disk ~corrupt (sch : Schedule.t) =
               History.return_ hist op
                 (one_shot (Put (key, v)) (function
                   | `Ok Ack -> History.Acked
-                  | `Ok (Val _) | `Busy -> History.Lost))
+                  | `Ok (Val _) | `Busy | `Expired -> History.Lost))
             end
           done
         in
@@ -301,7 +301,7 @@ let prepare_disk ~corrupt (sch : Schedule.t) =
         | `R (`Ok _) ->
           Buffer.add_string tail
             (Printf.sprintf "recovered=%d\n" (Fiber.now () - t0))
-        | `R `Busy | `T ->
+        | `R (`Busy | `Expired) | `T ->
           viol "recovery: store silent %d cycles after faults cleared"
             disk_recovery_bound);
         (* final reads close the history and back the durability check *)
@@ -312,7 +312,7 @@ let prepare_disk ~corrupt (sch : Schedule.t) =
             let op = History.invoke hist ~proc:9 ~kind:`Read ~key () in
             match one_shot (Get key) (function
               | `Ok (Val vo) -> History.Value vo
-              | `Ok Ack | `Busy -> History.Lost)
+              | `Ok Ack | `Busy | `Expired -> History.Lost)
             with
             | History.Value (Some v) as oc ->
               History.return_ hist op oc;
@@ -362,6 +362,21 @@ let kv_node_deadline = 3_000_000
 
 let kv_probe_deadline = 2_000_000
 
+(* Gray scenario: the workload clients run with circuit breakers and a
+   per-operation deadline budget, and the fail-fast liveness oracle
+   holds every one of their operations to [budget + slack].  The slack
+   covers the pre-deadline machinery (one bootstrap map fetch at
+   ~3 nodes x 2 x 60k worst case) plus the RPC in flight when the
+   budget expires (timeout clamped to the remaining budget, 2 stack
+   attempts) — sized several times worse than that worst path, so a
+   violation means an op that truly outlived its budget (a hang, a
+   retry loop that ignored the deadline), not a tight constant. *)
+let gray_op_budget = 600_000
+
+let gray_liveness_slack = 2_500_000
+
+let gray_breaker = { Client.trip_after = 3; cooldown = 400_000 }
+
 (* [lease] is the Kv_lease scenario: same topology, same workload, but
    the raft groups run with leader leases AND group-commit batching on
    — the whole batched/leased hot path under node kills and fabric
@@ -369,7 +384,14 @@ let kv_probe_deadline = 2_000_000
    serving a local read after a new leader acked a newer write) would
    surface as a linearizability violation on the recorded history, so
    "0 violations" is exactly the lease-safety claim of DESIGN.md D13. *)
-let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
+(* [gray] is the gray-failure scenario: same topology and workload,
+   but the fault palette is per-link (a slow-but-alive node, an
+   asymmetric partition) and the workload clients defend themselves
+   with circuit breakers and per-op deadline budgets.  The liveness
+   oracle then rides beside linearizability: every workload op must
+   return — complete or fail — within its budget (plus slack), no
+   hangs.  *)
+let prepare_kv ?(lease = false) ?(gray = false) ~corrupt (sch : Schedule.t) =
   let hist = History.create () in
   let injected = ref 0 in
   let leased_total = ref 0 in
@@ -396,15 +418,23 @@ let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
             ~seed:sch.Schedule.seed ~nnodes:3 net
         in
         Cluster.start ~max_restarts:100 ~window:1_000_000_000 c;
-        let mk ?attempts s label =
-          Client.create ?attempts ~seed:(sch.Schedule.seed + s)
-            ~bootstrap:(Cluster.addrs c)
+        let mk ?attempts ?breaker ?op_budget s label =
+          Client.create ?attempts ?breaker ?op_budget
+            ~seed:(sch.Schedule.seed + s) ~bootstrap:(Cluster.addrs c)
             (Stack.create net (Fabric.attach net ~label ()))
         in
         (* workload clients never retry an operation (attempts:1): a
            write either acks or is Lost — retrying would risk applying
-           it twice, which no register history can absorb *)
-        let wl = [| mk ~attempts:1 101 "wl0"; mk ~attempts:1 102 "wl1" |] in
+           it twice, which no register history can absorb.  In the gray
+           scenario they additionally carry breakers and a deadline
+           budget — the defenses under test. *)
+        let mk_wl s label =
+          if gray then
+            mk ~attempts:1 ~breaker:gray_breaker ~op_budget:gray_op_budget s
+              label
+          else mk ~attempts:1 s label
+        in
+        let wl = [| mk_wl 101 "wl0"; mk_wl 102 "wl1" |] in
         let probe = mk 103 "probe" in
         Fiber.sleep kv_settle;
         let baseline = live () in
@@ -440,6 +470,17 @@ let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
               window at dur
                 (fun () -> Fabric.set_faults net ~delay:p ~delay_cycles:cycles ())
                 (fun () -> Fabric.set_faults net ~delay:0.0 ())
+            | Schedule.Link_delay { src; dst; at; dur; p; cycles } ->
+              window at dur
+                (fun () ->
+                  Fabric.set_link_faults net ~src ~dst ~delay:p
+                    ~delay_cycles:cycles ())
+                (fun () -> Fabric.clear_link_faults net ~src ~dst)
+            | Schedule.Partition { src; dst; at; dur } ->
+              window at dur
+                (fun () ->
+                  Fabric.set_link_faults net ~src ~dst ~partition:true ())
+                (fun () -> Fabric.clear_link_faults net ~src ~dst)
             | Schedule.Kill_point _ | Schedule.Disk_errors _
             | Schedule.Kill_provider _ -> ())
           sch.Schedule.faults;
@@ -471,6 +512,41 @@ let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
         let c1 = Fiber.spawn ~label:"chaos-client-1" (fun () -> client 1) in
         ignore (Fiber.join c0);
         ignore (Fiber.join c1);
+        (* fail-fast liveness oracle: under gray faults every workload
+           op must have returned — acked, answered or failed — within
+           its deadline budget.  An op that outlived budget + slack
+           hung somewhere the deadline machinery should have cut. *)
+        if gray then begin
+          let bound = gray_op_budget + gray_liveness_slack in
+          List.iter
+            (fun (o : History.op) ->
+              if o.proc <= 1 then
+                if o.returned = max_int then
+                  viol "liveness: proc %d %s %s never returned" o.proc
+                    (match o.kind with `Read -> "read" | `Write -> "write")
+                    o.key
+                else if o.returned - o.invoked > bound then
+                  viol
+                    "liveness: proc %d %s %s took %d cycles (budget %d + slack %d)"
+                    o.proc
+                    (match o.kind with `Read -> "read" | `Write -> "write")
+                    o.key (o.returned - o.invoked) gray_op_budget
+                    gray_liveness_slack)
+            (History.ops hist);
+          (* defense evidence, folded into the digest: a green gray
+             campaign in which no breaker ever tripped and no link
+             fault ever fired proves much less *)
+          let sum f = Array.fold_left (fun a c -> a + f c) 0 wl in
+          let ls = Fabric.link_stats net in
+          Buffer.add_string tail
+            (Printf.sprintf
+               "gray: trips=%d skips=%d probes=%d misses=%d link_delayed=%d \
+                link_dropped=%d partitioned=%d\n"
+               (sum Client.breaker_trips) (sum Client.breaker_skips)
+               (sum Client.breaker_probes) (sum Client.deadline_misses)
+               ls.Fabric.link_delayed ls.Fabric.link_dropped
+               ls.Fabric.partitioned)
+        end;
         (match inj with Some t -> Faults.wait t | None -> ());
         Fabric.set_faults net ~loss:0.0 ~dup:0.0 ~reorder:0.0 ~delay:0.0 ();
         (* recovery oracle 1: supervision heals every crashed node *)
@@ -563,7 +639,8 @@ let prepare_kv ?(lease = false) ~corrupt (sch : Schedule.t) =
       (fun () ->
         finish ~leased:!leased_total ~hist ~tail ~viols ~injected ()) }
 
-let run_kv ?lease ~corrupt sch = run_prepared (prepare_kv ?lease ~corrupt sch)
+let run_kv ?lease ?gray ~corrupt sch =
+  run_prepared (prepare_kv ?lease ?gray ~corrupt sch)
 
 (* ------------------------------------------------------------------ *)
 (* Projfs scenario: projected mount hydrating from a supervised
@@ -812,6 +889,7 @@ let prepare ?(corrupt = false) scenario sch =
   | Kv -> prepare_kv ~corrupt sch
   | Kv_lease -> prepare_kv ~lease:true ~corrupt sch
   | Projfs -> prepare_projfs ~corrupt sch
+  | Gray -> prepare_kv ~gray:true ~corrupt sch
 
 let run_one ?(corrupt = false) scenario sch =
   match scenario with
@@ -819,6 +897,7 @@ let run_one ?(corrupt = false) scenario sch =
   | Kv -> run_kv ~corrupt sch
   | Kv_lease -> run_kv ~lease:true ~corrupt sch
   | Projfs -> run_projfs ~corrupt sch
+  | Gray -> run_kv ~gray:true ~corrupt sch
 
 (* ------------------------------------------------------------------ *)
 (* Schedule enumeration                                                *)
@@ -887,6 +966,38 @@ let gen scenario ~seed ~index =
             dur = 200_000 + Rng.int rng 600_000;
             p = 0.1 +. (0.1 *. float_of_int (Rng.int rng 3));
             cycles = 20_000 + Rng.int rng 60_000 })
+    | Gray -> (
+      (* the gray palette is per-link and asymmetric: a direction of
+         one node's traffic crawls (delay cycles several times the
+         client RPC timeout — alive for heartbeats, dead for callers)
+         or silently vanishes, while every other link stays healthy.
+         Link-delay windows carry double weight: slow-but-alive is the
+         headline failure.  Node addresses 0..2 are the cluster nodes
+         (attach order). *)
+      let src = Rng.int rng 3 in
+      let dst = (src + 1 + Rng.int rng 2) mod 3 in
+      match Rng.int rng 4 with
+      | 0 | 1 ->
+        Schedule.Link_delay
+          { src;
+            dst;
+            at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 300_000 + Rng.int rng 700_000;
+            p = 0.5 +. (0.15 *. float_of_int (Rng.int rng 3));
+            cycles = 150_000 + Rng.int rng 250_000 }
+      | 2 ->
+        Schedule.Partition
+          { src;
+            dst;
+            at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 300_000 + Rng.int rng 500_000 }
+      | _ ->
+        (* one symmetric ingredient keeps elections in the mix: the
+           slow node can also lose whole-fabric frames *)
+        Schedule.Frame_loss
+          { at = 1_050_000 + Rng.int rng 1_000_000;
+            dur = 200_000 + Rng.int rng 400_000;
+            p = 0.05 +. (0.1 *. float_of_int (Rng.int rng 3)) })
     | Projfs -> (
       (* provider kills carry double weight: mid-hydration death is
          the scenario's headline fault *)
@@ -948,14 +1059,15 @@ type report = {
    every aggregate — counts, kind histogram, violation list,
    campaign digest — is byte-identical at any [domains]. *)
 let campaign ?(disk_runs = 24) ?(kv_runs = 8) ?(projfs_runs = 0)
-    ?(lease_runs = 0) ?(domains = 1) ~seed () =
+    ?(lease_runs = 0) ?(gray_runs = 0) ?(domains = 1) ~seed () =
   let tasks =
     Array.of_list
       (List.concat
          [ List.init disk_runs (fun i -> (Disk, i));
            List.init kv_runs (fun i -> (Kv, i));
            List.init projfs_runs (fun i -> (Projfs, i));
-           List.init lease_runs (fun i -> (Kv_lease, i)) ])
+           List.init lease_runs (fun i -> (Kv_lease, i));
+           List.init gray_runs (fun i -> (Gray, i)) ])
   in
   let explore ti =
     let scenario, index = tasks.(ti) in

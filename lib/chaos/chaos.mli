@@ -42,6 +42,17 @@
       file is seeded into the history as written-once with its exact
       catalog contents, so any torn or fabricated hydration is a read
       of a never-written value.
+    - {!Gray}: the {!Kv} topology and workload under {e gray} failure —
+      per-link fault windows ({!Schedule.Link_delay},
+      {!Schedule.Partition}) that make one node slow-but-alive or
+      unreachable in one direction only, while the workload clients
+      defend themselves with per-node circuit breakers and per-op
+      deadline budgets ({!Chorus_cluster.Client.create}'s [breaker] /
+      [op_budget]).  A fifth, fail-fast {e liveness} oracle runs
+      beside linearizability: every workload operation must return —
+      complete or fail — within its deadline budget plus a stated
+      slack; an op that outlives it hung somewhere the deadline
+      machinery should have cut.
 
     After every run, four oracles:
 
@@ -57,7 +68,7 @@
       it started with and no requests stuck in inboxes (nothing
       leaked). *)
 
-type scenario = Disk | Kv | Kv_lease | Projfs
+type scenario = Disk | Kv | Kv_lease | Projfs | Gray
 
 type outcome = {
   digest : string;
@@ -137,10 +148,11 @@ type report = {
 
 val campaign :
   ?disk_runs:int -> ?kv_runs:int -> ?projfs_runs:int -> ?lease_runs:int ->
-  ?domains:int -> seed:int -> unit -> report
+  ?gray_runs:int -> ?domains:int -> seed:int -> unit -> report
 (** Enumerate and run [disk_runs] {!Disk} schedules (default 24),
     [kv_runs] {!Kv} schedules (default 8), [projfs_runs] {!Projfs}
-    schedules and [lease_runs] {!Kv_lease} schedules (both default 0 —
+    schedules, [lease_runs] {!Kv_lease} schedules and [gray_runs]
+    {!Gray} schedules (all three default 0 —
     opt-in, so the standing chaos benchmark's record is unchanged),
     checking every oracle after every run; violations are
     replay-verified and shrunk.  [domains] (default 1) shards the runs

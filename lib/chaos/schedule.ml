@@ -7,6 +7,15 @@ type fault =
   | Frame_delay of { at : int; dur : int; p : float; cycles : int }
   | Disk_errors of { at : int; dur : int; p : float }
   | Kill_provider of { at : int; dur : int }
+  | Link_delay of {
+      src : int;
+      dst : int;
+      at : int;
+      dur : int;
+      p : float;
+      cycles : int;
+    }
+  | Partition of { src : int; dst : int; at : int; dur : int }
 
 type t = { seed : int; faults : fault list }
 
@@ -21,6 +30,8 @@ let kind = function
   | Frame_delay _ -> "delay"
   | Disk_errors _ -> "disk"
   | Kill_provider _ -> "kill-provider"
+  | Link_delay _ -> "link-delay"
+  | Partition _ -> "partition"
 
 let fault_to_string = function
   | Kill_node { node; at } -> Printf.sprintf "kill-node(%d)@%d" node at
@@ -36,6 +47,11 @@ let fault_to_string = function
   | Disk_errors { at; dur; p } ->
     Printf.sprintf "disk(p=%.2f)@%d+%d" p at dur
   | Kill_provider { at; dur } -> Printf.sprintf "kill-provider@%d+%d" at dur
+  | Link_delay { src; dst; at; dur; p; cycles } ->
+    Printf.sprintf "link-delay(%d>%d,p=%.2f,%dcy)@%d+%d" src dst p cycles at
+      dur
+  | Partition { src; dst; at; dur } ->
+    Printf.sprintf "partition(%d>%d)@%d+%d" src dst at dur
 
 let to_string t =
   String.concat " "
@@ -69,6 +85,13 @@ let fault_of_string s =
     | "disk" ->
       Scanf.sscanf s "disk(p=%f)@%d+%d%!" (fun p at dur ->
           Disk_errors { at; dur; p })
+    | "link-delay" ->
+      Scanf.sscanf s "link-delay(%d>%d,p=%f,%dcy)@%d+%d%!"
+        (fun src dst p cycles at dur ->
+          Link_delay { src; dst; at; dur; p; cycles })
+    | "partition" ->
+      Scanf.sscanf s "partition(%d>%d)@%d+%d%!" (fun src dst at dur ->
+          Partition { src; dst; at; dur })
     | _ -> fail ()
   in
   (* kill-provider is the one paren-less form: which fiber dies is

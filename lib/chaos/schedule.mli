@@ -31,6 +31,22 @@ type fault =
           ({!Chorus_projfs.Provider.crashpoint}) at its first dequeue
           inside [[at, at+dur)] — in-flight hydrations lose their
           replies; a supervisor re-serves the port after the window *)
+  | Link_delay of {
+      src : int;
+      dst : int;
+      at : int;
+      dur : int;
+      p : float;
+      cycles : int;
+    }
+      (** gray-failure window on the directed (src,dst) link only:
+          each frame held [cycles] with probability [p]
+          ({!Chorus_net.Fabric.set_link_faults}) — the slow-but-alive
+          node, one direction at a time *)
+  | Partition of { src : int; dst : int; at : int; dur : int }
+      (** asymmetric partition window: every frame on the directed
+          (src,dst) link dropped inside [[at, at+dur)]; the reverse
+          direction is untouched *)
 
 type t = { seed : int; faults : fault list }
 
@@ -39,7 +55,7 @@ val nfaults : t -> int
 val kind : fault -> string
 (** Short tag for histograms: ["kill-node"], ["kill-point"],
     ["loss"], ["dup"], ["reorder"], ["delay"], ["disk"],
-    ["kill-provider"]. *)
+    ["kill-provider"], ["link-delay"], ["partition"]. *)
 
 val to_string : t -> string
 (** Compact one-line form, e.g.

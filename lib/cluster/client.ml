@@ -6,6 +6,23 @@ module Rcu = Chorus_util.Rcu
 module Metrics = Chorus_obs.Metrics
 module Span = Chorus_obs.Span
 
+(* Circuit breaker, per target node, on the virtual clock.  Closed
+   passes traffic and counts consecutive failures; [trip_after] of
+   them opens the breaker for [cooldown] cycles, during which the
+   routing layer steers around the node; at cooldown expiry the next
+   operation to consider the node becomes the half-open probe — its
+   verdict alone closes or re-opens the breaker.  Any successful
+   response (including a leader redirect: the node answered) resets
+   the failure count. *)
+type breaker_config = { trip_after : int; cooldown : int }
+
+type breaker_state = [ `Closed | `Open | `Half_open ]
+
+type node_breaker = {
+  mutable bst : [ `Closed | `Open_until of int | `Half_open ];
+  mutable fails : int;  (* consecutive failures while closed *)
+}
+
 type t = {
   stack : Stack.t;
   bootstrap : int list;
@@ -13,6 +30,12 @@ type t = {
   call_timeout : int;
   backoff_base : int;
   backoff_cap : int;
+  breaker : breaker_config option;
+  op_budget : int option;
+      (* per-operation deadline budget in cycles: an operation that
+         outlives it fails fast with [`Net_fail] instead of burning
+         its remaining attempts *)
+  breakers : (int, node_breaker) Hashtbl.t;  (* node addr -> breaker *)
   rng : Rng.t;
   map : Shardmap.snapshot option Rcu.t;
       (* RCU-published routing snapshot: the op hot path reads it
@@ -21,6 +44,10 @@ type t = {
   mutable retries : int;
   mutable redirects : int;
   mutable failed : int;
+  mutable trips : int;  (* closed/half-open -> open transitions *)
+  mutable breaker_skips : int;  (* routing decisions steered off an open node *)
+  mutable probes : int;  (* open -> half-open transitions *)
+  mutable deadline_misses : int;  (* ops failed fast on the op budget *)
   (* pipeline stats (one pipeline per client at most) *)
   mutable inflight : int;
   mutable inflight_hwm : int;
@@ -32,8 +59,15 @@ type t = {
 }
 
 let create ?(attempts = 10) ?(call_timeout = 60_000) ?(backoff_base = 15_000)
-    ?(backoff_cap = 120_000) ~seed ~bootstrap stack =
+    ?(backoff_cap = 120_000) ?breaker ?op_budget ~seed ~bootstrap stack =
   if bootstrap = [] then invalid_arg "Client.create: no bootstrap nodes";
+  (match breaker with
+  | Some { trip_after; cooldown } when trip_after < 1 || cooldown < 1 ->
+    invalid_arg "Client.create: breaker needs trip_after/cooldown >= 1"
+  | _ -> ());
+  (match op_budget with
+  | Some b when b < 1 -> invalid_arg "Client.create: op_budget must be >= 1"
+  | _ -> ());
   let t =
     { stack;
       bootstrap;
@@ -41,12 +75,19 @@ let create ?(attempts = 10) ?(call_timeout = 60_000) ?(backoff_base = 15_000)
       call_timeout;
       backoff_base;
       backoff_cap;
+      breaker;
+      op_budget;
+      breakers = Hashtbl.create 8;
       rng = Rng.make (seed lxor (0x0c11e47 + (977 * Stack.addr stack)));
       map = Rcu.make None;
       hints = Hashtbl.create 8;
       retries = 0;
       redirects = 0;
       failed = 0;
+      trips = 0;
+      breaker_skips = 0;
+      probes = 0;
+      deadline_misses = 0;
       inflight = 0;
       inflight_hwm = 0;
       submitted = 0;
@@ -75,8 +116,95 @@ let create ?(attempts = 10) ?(call_timeout = 60_000) ?(backoff_base = 15_000)
           ("inflight", Int t.inflight);
           ("inflight_hwm", Int t.inflight_hwm);
           ("submitted", Int t.submitted);
-          ("completed", Int t.completed) ]);
+          ("completed", Int t.completed);
+          ("breaker",
+           match t.breaker with
+           | None -> Null
+           | Some { trip_after; cooldown } ->
+             Assoc
+               [ ("trip_after", Int trip_after);
+                 ("cooldown", Int cooldown);
+                 ("trips", Int t.trips);
+                 ("skips", Int t.breaker_skips);
+                 ("probes", Int t.probes);
+                 ("open_now",
+                  Int
+                    (Hashtbl.fold
+                       (fun _ b acc ->
+                         match b.bst with
+                         | `Open_until _ -> acc + 1
+                         | `Closed | `Half_open -> acc)
+                       t.breakers 0)) ]);
+          ("op_budget",
+           match t.op_budget with None -> Null | Some b -> Int b);
+          ("deadline_misses", Int t.deadline_misses) ]);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Breaker machinery: every function is a no-op (and allocates
+   nothing) when the client was created without ~breaker, so the
+   default client is unchanged.                                       *)
+
+let bk t node =
+  match Hashtbl.find_opt t.breakers node with
+  | Some b -> b
+  | None ->
+    let b = { bst = `Closed; fails = 0 } in
+    Hashtbl.replace t.breakers node b;
+    b
+
+(* Is the node's breaker open right now?  An expired cooldown
+   transitions open -> half-open here (lazily, on the virtual clock):
+   the caller asking is the probe. *)
+let breaker_blocks t node =
+  match t.breaker with
+  | None -> false
+  | Some _ -> (
+    let b = bk t node in
+    match b.bst with
+    | `Closed | `Half_open -> false
+    | `Open_until until ->
+      if Fiber.now () >= until then begin
+        b.bst <- `Half_open;
+        t.probes <- t.probes + 1;
+        false
+      end
+      else true)
+
+let record_failure t node =
+  match t.breaker with
+  | None -> ()
+  | Some cfg -> (
+    let b = bk t node in
+    b.fails <- b.fails + 1;
+    match b.bst with
+    | `Half_open ->
+      (* the probe failed: straight back to open *)
+      t.trips <- t.trips + 1;
+      b.bst <- `Open_until (Fiber.now () + cfg.cooldown)
+    | `Closed when b.fails >= cfg.trip_after ->
+      t.trips <- t.trips + 1;
+      b.bst <- `Open_until (Fiber.now () + cfg.cooldown)
+    | `Closed | `Open_until _ -> ())
+
+let record_success t node =
+  match t.breaker with
+  | None -> ()
+  | Some _ -> (
+    match Hashtbl.find_opt t.breakers node with
+    | None -> ()
+    | Some b ->
+      b.bst <- `Closed;
+      b.fails <- 0)
+
+let breaker_state t node : breaker_state =
+  match Hashtbl.find_opt t.breakers node with
+  | None -> `Closed
+  | Some b -> (
+    match b.bst with
+    | `Closed -> `Closed
+    | `Half_open -> `Half_open
+    | `Open_until until -> if Fiber.now () >= until then `Half_open else `Open)
 
 let retries t = t.retries
 
@@ -87,6 +215,14 @@ let ops_failed t = t.failed
 let map_reads t = Rcu.reads t.map
 
 let map_publishes t = Rcu.publishes t.map
+
+let breaker_trips t = t.trips
+
+let breaker_skips t = t.breaker_skips
+
+let breaker_probes t = t.probes
+
+let deadline_misses t = t.deadline_misses
 
 (* Bounded exponential backoff with +-25% jitter.  Same shape as the
    stack's retransmission backoff but at operation granularity: a
@@ -147,8 +283,18 @@ let encode_get k =
    replica), follow redirects immediately, rotate + back off on
    timeout/retry.  [n] counts attempts that consumed backoff budget;
    redirects are free but bounded by [t.attempts] total hops via
-   [hops]. *)
+   [hops].
+
+   With a breaker installed, routing steers around open nodes: the
+   initial pick and every rotation advance past replicas whose breaker
+   is open (when {e every} replica is open the current target is kept
+   — the call itself is the probe that can ever close a breaker
+   again).  With an op budget, the operation carries an absolute
+   deadline: checked before every attempt, and each RPC's timeout is
+   clamped to the remaining budget, so the op fails fast instead of
+   queueing retries behind a gray node. *)
 let operation t ~key ~req =
+  let dl = match t.op_budget with None -> None | Some b -> Some (Fiber.now () + b) in
   match ensure_map t 0 with
   | None ->
     t.failed <- t.failed + 1;
@@ -167,8 +313,34 @@ let operation t ~key ~req =
       incr rotation;
       target := replicas.(!rotation mod nrep)
     in
+    (* steer off an open breaker: advance the rotation until a
+       non-open replica turns up, at most one full cycle *)
+    let steer () =
+      if breaker_blocks t !target then begin
+        let rec scan k =
+          if k < nrep then begin
+            incr rotation;
+            let cand = replicas.(!rotation mod nrep) in
+            if breaker_blocks t cand then scan (k + 1)
+            else begin
+              t.breaker_skips <- t.breaker_skips + 1;
+              Hashtbl.remove t.hints shard;
+              target := cand
+            end
+          end
+        in
+        scan 0
+      end
+    in
+    steer ();
     let rec go n hops =
-      if n >= t.attempts || hops >= 4 * t.attempts then begin
+      if (match dl with Some d -> Fiber.now () >= d | None -> false) then begin
+        t.deadline_misses <- t.deadline_misses + 1;
+        record_failure t !target;
+        t.failed <- t.failed + 1;
+        `Net_fail
+      end
+      else if n >= t.attempts || hops >= 4 * t.attempts then begin
         t.failed <- t.failed + 1;
         `Net_fail
       end
@@ -178,19 +350,30 @@ let operation t ~key ~req =
           else begin
             t.retries <- t.retries + 1;
             backoff t n;
+            steer ();
             go (n + 1) (hops + 1)
           end
         in
+        let timeout =
+          match dl with
+          | None -> t.call_timeout
+          | Some d -> min t.call_timeout (max 1 (d - Fiber.now ()))
+        in
         match
           Stack.call t.stack ~dst:!target ~port:Cluster.client_port
-            ~timeout:t.call_timeout ~attempts:2 req
+            ~timeout ~attempts:2 req
         with
         | None ->
           (* node silent: likely down, try the next replica *)
+          record_failure t !target;
           rotate ();
           retry ()
-        | Some reply when String.length reply = 0 -> rotate (); retry ()
+        | Some reply when String.length reply = 0 ->
+          record_failure t !target;
+          rotate ();
+          retry ()
         | Some reply -> (
+          record_success t !target;
           match reply.[0] with
           | 'A' ->
             Hashtbl.replace t.hints shard !target;

@@ -14,14 +14,33 @@
 
 type t
 
+type breaker_config = { trip_after : int; cooldown : int }
+(** Per-node circuit breaker parameters: [trip_after] consecutive
+    failures (silent/empty replies, deadline misses) open the node's
+    breaker for [cooldown] virtual cycles.  While open, routing steers
+    operations to other replicas; at cooldown expiry the breaker goes
+    half-open and the next operation to consider the node is the
+    probe — success closes the breaker, failure re-opens it for
+    another cooldown.  Any response at all (including a leader
+    redirect) counts as success: breakers track liveness, not
+    leadership. *)
+
+type breaker_state = [ `Closed | `Open | `Half_open ]
+
 val create :
   ?attempts:int -> ?call_timeout:int -> ?backoff_base:int ->
-  ?backoff_cap:int -> seed:int -> bootstrap:int list ->
-  Chorus_net.Stack.t -> t
+  ?backoff_cap:int -> ?breaker:breaker_config -> ?op_budget:int ->
+  seed:int -> bootstrap:int list -> Chorus_net.Stack.t -> t
 (** [bootstrap] lists node addresses tried in order for map discovery.
     Defaults: [attempts] 10 per operation, [call_timeout] 60k cycles
     per RPC, backoff base 15k doubling to a 120k cap, +-25%
-    seed-derived jitter. *)
+    seed-derived jitter.  [breaker] (default off) arms per-node
+    circuit breakers; [op_budget] (default off) gives every operation
+    an absolute deadline [now + op_budget] — checked before each
+    attempt, with each RPC timeout clamped to the remaining budget —
+    so a gray (slow-but-alive) node costs a bounded slice of the
+    caller's time instead of the full retry ladder.  Both default to
+    off, leaving the client byte-identical to the pre-breaker one. *)
 
 val put : t -> string -> string -> [ `Ok | `Net_fail ]
 (** [`Net_fail] means every attempt was exhausted without a response —
@@ -49,6 +68,26 @@ val map_reads : t -> int
 val map_publishes : t -> int
 (** Fresh shardmap snapshots published (initial fetch + every
     stale-map refetch). *)
+
+(** {1 Breaker introspection} *)
+
+val breaker_state : t -> int -> breaker_state
+(** The breaker posture of a node address as of now (a node never seen,
+    or on a client without breakers, reads [`Closed]).  An open breaker
+    whose cooldown has expired reads [`Half_open]. *)
+
+val breaker_trips : t -> int
+(** Closed/half-open -> open transitions. *)
+
+val breaker_skips : t -> int
+(** Routing decisions that steered an operation off an open node. *)
+
+val breaker_probes : t -> int
+(** Open -> half-open transitions (cooldown expiries). *)
+
+val deadline_misses : t -> int
+(** Operations failed fast because their [op_budget] deadline passed
+    (each also counts in {!ops_failed}). *)
 
 (** {1 Pipelining}
 

@@ -129,7 +129,16 @@ let all =
          commit amortizes the replication round, leader leases take \
          reads off the quorum path, and the proof is throughput/p99 \
          against offered load, not an assertion (S1/S3/S5)";
-      run = E24_hotpath.run } ]
+      run = E24_hotpath.run };
+    { id = "e25";
+      title = "Gray failure: deadlines and circuit breakers";
+      claim =
+        "aiming for not failing includes not failing slowly: a \
+         replica that is alive to its peers but slow to its clients \
+         evades crash detection, so the client plane needs its own \
+         defenses — end-to-end deadlines cap the latency tail and \
+         circuit breakers steer traffic off the gray node (S1/S5)";
+      run = E25_gray.run } ]
 
 let find id =
   let id = String.lowercase_ascii id in

@@ -50,8 +50,31 @@ val create :
 val set_faults :
   t -> ?loss:float -> ?dup:float -> ?reorder:float -> ?delay:float ->
   ?delay_cycles:int -> unit -> unit
-(** Adjust the fault knobs mid-run (omitted knobs keep their value) —
-    the chaos engine's fault-window switch. *)
+(** Adjust the fault knobs mid-run — the chaos engine's fault-window
+    switch.  {b Every omitted knob keeps its current value}: passing
+    only [~loss:0.10] leaves [dup]/[reorder]/[delay]/[delay_cycles]
+    exactly as they were, so closing a window must name each knob it
+    opened ([set_faults t ~loss:0.0 ()] closes only the loss window).
+    [set_faults t ()] is a no-op. *)
+
+val set_link_faults :
+  t -> src:int -> dst:int -> ?partition:bool -> ?loss:float ->
+  ?delay:float -> ?delay_cycles:int -> unit -> unit
+(** Install or adjust a {e directed} fault override on the (src,dst)
+    link — the gray-failure primitive: a link can drop or crawl in one
+    direction while its reverse stays healthy.  [partition] drops every
+    frame on the link unconditionally (no RNG draw); [loss] drops each
+    frame with the given probability; [delay] holds each frame
+    [delay_cycles] (default 10x fabric latency).  Omitted knobs keep
+    their current value, mirroring {!set_faults}.  A frame claimed by a
+    link fault skips the global knobs; frames on an overridden link
+    whose draws all miss fall through to the global knobs unchanged.
+    Link knobs draw from the seeded RNG only when enabled, so a fabric
+    with no overrides is byte-identical to one without this API. *)
+
+val clear_link_faults : t -> src:int -> dst:int -> unit
+(** Remove the (src,dst) override entirely: the link reverts to the
+    global knobs alone. *)
 
 val attach : t -> ?label:string -> unit -> nic
 (** Add a node: spawns its transmit-driver fiber and returns the NIC.
@@ -87,3 +110,14 @@ val fault_stats : t -> fault_stats
     {!Stack.rel_stats}: a duplicated frame surfaces there as a
     [duplicates_served] replay, a reordered or delayed one as a
     retransmission if it outran the caller's timeout. *)
+
+type link_stats = {
+  mutable partitioned : int;  (** frames dropped by a link partition *)
+  mutable link_dropped : int;  (** frames dropped by link loss *)
+  mutable link_delayed : int;  (** frames held by link delay *)
+}
+
+val link_stats : t -> link_stats
+(** Frames claimed by per-link overrides ({!set_link_faults}), summed
+    across all links.  Partition and link-loss drops also count in
+    {!frames_dropped}. *)

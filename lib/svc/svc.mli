@@ -53,15 +53,44 @@ exception Busy
 (** Raised by {!call} and {!await} when the request was rejected or
     shed. *)
 
+exception Expired
+(** Raised by {!call} and {!await} when the request's end-to-end
+    deadline passed before a reply arrived. *)
+
+(** {1 End-to-end deadlines}
+
+    A deadline is an {e absolute virtual time} by which the caller
+    needs the reply.  It travels with the request: the serve loop
+    drops work that is already expired at the {e dequeue boundary}
+    (counted in [expired], answered [`Expired] so a still-listening
+    caller unblocks), and while the handler runs, the request's
+    deadline is the {e ambient} deadline — nested [call]s inherit it,
+    so a budget set at the edge bounds the whole downstream tree.
+    Everything is opt-in per call: a call without an explicit or
+    ambient deadline takes exactly the pre-deadline path (no
+    [Chan.choose], no RNG draw, no table writes), so seeded runs that
+    never set a deadline stay byte-identical. *)
+
+val with_deadline : int -> (unit -> 'a) -> 'a
+(** [with_deadline d f] runs [f] with ambient deadline [d] for the
+    {e current fiber} (saved and restored on exit, even by
+    exception).  {!serve} wraps handlers of deadline-carrying requests
+    in it automatically; call it directly to set a budget at the edge
+    of a request tree. *)
+
+val current_deadline : unit -> int option
+(** The current fiber's ambient deadline, if any. *)
+
 (** {1 Endpoints} *)
 
 type 'msg cast
 (** A one-way service endpoint ([Notify]-style inboxes, raft kicks,
     the net stack's port queues). *)
 
-type 'resp reply = [ `Ok of 'resp | `Busy ] Chan.t
+type 'resp reply = [ `Ok of 'resp | `Busy | `Expired ] Chan.t
 (** The reply half of a request: a one-shot buffered channel.  [`Busy]
-    is delivered by the overload policy, never by a handler. *)
+    is delivered by the overload policy, [`Expired] by the deadline
+    machinery — never by a handler. *)
 
 type ('req, 'resp) t = ('req * 'resp reply) cast
 (** A request/reply service endpoint: exactly the paper's
@@ -102,18 +131,29 @@ val cast : ?words:int -> 'msg cast -> 'msg -> unit
 (** [offer] with the verdict dropped (rejections still count in the
     [rejected] metric). *)
 
-val call : ?words:int -> ('req, 'resp) t -> 'req -> 'resp
+val call : ?words:int -> ?deadline:int -> ('req, 'resp) t -> 'req -> 'resp
 (** Send the request with a fresh reply channel, await the reply.
     Charge-for-charge identical to {!Chorus.Rpc.call} under the
-    default config.  Raises {!Busy} when rejected or shed. *)
+    default config (and no deadline).  Raises {!Busy} when rejected or
+    shed.  [deadline] is an absolute virtual time: if it passes before
+    the reply arrives (or already passed — the effective deadline is
+    the tighter of [deadline] and the ambient one), raises {!Expired}
+    and the endpoint drops the request at its dequeue boundary. *)
 
 val call_result :
-  ?words:int -> ('req, 'resp) t -> 'req -> [ `Ok of 'resp | `Busy ]
-(** {!call} with the busy outcome as a value instead of an exception. *)
+  ?words:int -> ?deadline:int -> ('req, 'resp) t -> 'req ->
+  [ `Ok of 'resp | `Busy | `Expired ]
+(** {!call} with the busy/expired outcomes as values instead of
+    exceptions. *)
 
-val call_async : ?words:int -> ('req, 'resp) t -> 'req -> 'resp reply
+val call_async :
+  ?words:int -> ?deadline:int -> ('req, 'resp) t -> 'req -> 'resp reply
 (** Fire the request and return the reply channel without waiting.  A
-    rejected request's reply channel already holds [`Busy]. *)
+    rejected request's reply channel already holds [`Busy] (an
+    already-expired one [`Expired]).  With a [deadline], the endpoint
+    will drop the request if it dequeues after the deadline; the
+    caller is responsible for its own timed wait (e.g. a
+    {!Chan.choose} with {!Chan.after}). *)
 
 val reply_chan : unit -> 'resp reply
 (** A fresh one-shot reply channel ([Chan.buffered 1]), for services
@@ -123,9 +163,9 @@ val answer : ?words:int -> 'resp reply -> 'resp -> unit
 (** Server half: deliver [`Ok resp] on a hand-plumbed reply channel. *)
 
 val await : 'resp reply -> 'resp
-(** Client half of a hand-plumbed call.  Raises {!Busy}. *)
+(** Client half of a hand-plumbed call.  Raises {!Busy} / {!Expired}. *)
 
-val await_result : 'resp reply -> [ `Ok of 'resp | `Busy ]
+val await_result : 'resp reply -> [ `Ok of 'resp | `Busy | `Expired ]
 
 (** {1 Server side} *)
 
@@ -159,7 +199,10 @@ val serve :
     handler under a span + the [service_time] histogram, reply with
     [words_of_resp resp] payload words (default 2).  When [until req
     resp] answers [true] the endpoint is closed after the reply and
-    the loop returns — the vnode retirement protocol. *)
+    the loop returns — the vnode retirement protocol.  A request whose
+    deadline already passed at dequeue is dropped unserved (counted in
+    [expired], answered [`Expired]); a live deadline becomes the
+    ambient deadline for the handler's own nested calls. *)
 
 val serve_cast : 'msg cast -> ('msg -> unit) -> unit
 (** One-way flavour of {!serve}. *)
@@ -230,6 +273,10 @@ val served : 'msg cast -> int
 val rejected : 'msg cast -> int
 
 val shed : 'msg cast -> int
+
+val expired : 'msg cast -> int
+(** Requests dropped at the dequeue boundary because their deadline
+    had already passed. *)
 
 val batches : 'msg cast -> int
 (** {!take_batch} calls completed. *)

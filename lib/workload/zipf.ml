@@ -29,6 +29,8 @@ type config = {
   read_fraction : float;
   value_bytes : int;
   call_timeout : int;  (* per-RPC client timeout, cycles *)
+  op_budget : int option;  (* per-op deadline budget (Client.create) *)
+  breaker : Client.breaker_config option;  (* per-node circuit breakers *)
   seed : int;
 }
 
@@ -42,6 +44,8 @@ let default_config ~seed =
     read_fraction = 0.9;
     value_bytes = 16;
     call_timeout = 60_000;
+    op_budget = None;
+    breaker = None;
     seed }
 
 type result = {
@@ -58,6 +62,10 @@ type result = {
   latency : Histogram.t;
   lat_get : Histogram.t;
   lat_put : Histogram.t;
+  breaker_trips : int;  (* summed over clients; 0 without [breaker] *)
+  breaker_skips : int;
+  breaker_probes : int;
+  deadline_misses : int;  (* 0 without [op_budget] *)
 }
 
 let key_of_rank rank = Printf.sprintf "k%07d" rank
@@ -66,13 +74,15 @@ let key_of_rank rank = Printf.sprintf "k%07d" rank
    completions during the issue window, so the pipeline window is the
    only backpressure — exactly the bounded-buffer open-loop model. *)
 let drive cfg ~fabric ~bootstrap ~zipf ~idx ~lat ~lat_get ~lat_put ~failed
-    ~reads ~writes ~submitted ~last_done ~done_ch =
+    ~reads ~writes ~submitted ~last_done ~trips ~skips ~probes ~misses
+    ~done_ch =
   let nic =
     Fabric.attach fabric ~label:(Printf.sprintf "loadgen%d" idx) ()
   in
   let stack = Stack.create fabric nic in
   let client =
-    Client.create ~call_timeout:cfg.call_timeout
+    Client.create ~call_timeout:cfg.call_timeout ?op_budget:cfg.op_budget
+      ?breaker:cfg.breaker
       ~seed:(cfg.seed + (7919 * idx))
       ~bootstrap stack
   in
@@ -124,6 +134,10 @@ let drive cfg ~fabric ~bootstrap ~zipf ~idx ~lat ~lat_get ~lat_put ~failed
     | `Net_fail -> incr failed
     | `Ok | `Found _ | `Miss -> ()
   done;
+  trips := !trips + Client.breaker_trips client;
+  skips := !skips + Client.breaker_skips client;
+  probes := !probes + Client.breaker_probes client;
+  misses := !misses + Client.deadline_misses client;
   Chan.send done_ch ()
 
 let run cfg ~fabric ~bootstrap =
@@ -137,7 +151,11 @@ let run cfg ~fabric ~bootstrap =
   and reads = ref 0
   and writes = ref 0
   and submitted = ref 0
-  and last_done = ref 0 in
+  and last_done = ref 0
+  and trips = ref 0
+  and skips = ref 0
+  and probes = ref 0
+  and misses = ref 0 in
   let done_ch = Chan.buffered cfg.nclients in
   let t0 = Fiber.now () in
   for idx = 0 to cfg.nclients - 1 do
@@ -146,7 +164,8 @@ let run cfg ~fabric ~bootstrap =
          ~label:(Printf.sprintf "zipf-client%d" idx)
          (fun () ->
            drive cfg ~fabric ~bootstrap ~zipf ~idx ~lat ~lat_get ~lat_put
-             ~failed ~reads ~writes ~submitted ~last_done ~done_ch))
+             ~failed ~reads ~writes ~submitted ~last_done ~trips ~skips
+             ~probes ~misses ~done_ch))
   done;
   for _ = 1 to cfg.nclients do
     Chan.recv done_ch
@@ -165,4 +184,8 @@ let run cfg ~fabric ~bootstrap =
     mean_latency = Histogram.mean lat;
     latency = lat;
     lat_get;
-    lat_put }
+    lat_put;
+    breaker_trips = !trips;
+    breaker_skips = !skips;
+    breaker_probes = !probes;
+    deadline_misses = !misses }

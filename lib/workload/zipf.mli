@@ -26,6 +26,11 @@ type config = {
       (** per-RPC client timeout; raise it past the expected queueing
           delay when measuring capacity at deep saturation, or the
           client's own timeout/retry churn becomes the bottleneck *)
+  op_budget : int option;
+      (** per-operation deadline budget handed to each
+          {!Chorus_cluster.Client.create} (default [None] = off) *)
+  breaker : Chorus_cluster.Client.breaker_config option;
+      (** per-node circuit breakers for each client (default [None]) *)
   seed : int;
 }
 
@@ -47,6 +52,13 @@ type result = {
   latency : Chorus_util.Histogram.t;
   lat_get : Chorus_util.Histogram.t;  (** read-path latencies alone *)
   lat_put : Chorus_util.Histogram.t;  (** write-path latencies alone *)
+  breaker_trips : int;
+      (** circuit-breaker trips summed over all clients (0 when
+          [breaker] is [None]) *)
+  breaker_skips : int;  (** routing decisions steered off open nodes *)
+  breaker_probes : int;  (** half-open probes *)
+  deadline_misses : int;
+      (** ops failed fast on the [op_budget] deadline (0 when off) *)
 }
 
 val run :

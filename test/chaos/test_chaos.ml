@@ -97,6 +97,36 @@ let test_schedule_subschedules () =
   Alcotest.(check bool) "to_string names seed" true
     (String.length str > 6 && String.sub str 0 6 = "seed=9")
 
+let test_schedule_link_fault_round_trip () =
+  (* the two gray fault kinds survive to_string/of_string exactly *)
+  let s =
+    { Schedule.seed = 7;
+      faults =
+        [ Schedule.Link_delay
+            { src = 0; dst = 2; at = 1_100_000; dur = 400_000; p = 0.65;
+              cycles = 200_000 };
+          Schedule.Partition { src = 2; dst = 0; at = 1_300_000; dur = 250_000 } ] }
+  in
+  let str = Schedule.to_string s in
+  Alcotest.(check string) "round trip is exact" str
+    (Schedule.to_string (Schedule.of_string str));
+  Alcotest.(check (list string))
+    "kind tags" [ "link-delay"; "partition" ]
+    (List.map Schedule.kind s.Schedule.faults)
+
+let test_schedule_malformed_partition_rejected () =
+  (* a partition spec without its (src>dst) link is meaningless *)
+  List.iter
+    (fun bad ->
+      match Schedule.of_string ("seed=1 " ^ bad) with
+      | (_ : Schedule.t) ->
+        Alcotest.failf "malformed %S accepted" bad
+      | exception Invalid_argument _ -> ())
+    [ "partition@100+200";
+      "partition()@100+200";
+      "partition(3)@100+200";
+      "link-delay(0>1)@100+200" ]
+
 (* ------------------------------------------------------------------ *)
 (* Chaos runs                                                          *)
 
@@ -157,6 +187,31 @@ let test_lease_campaign_green () =
   Alcotest.(check int) "runs" 6 r.Chaos.runs;
   Alcotest.(check int) "all oracles green" 0 (List.length r.Chaos.violations)
 
+(* The gray claim: per-link delay and asymmetric partition windows
+   against clients running breakers and deadline budgets — the
+   liveness oracle (every op returns within budget + slack) and
+   linearizability must both stay green, and runs must replay
+   byte-identically. *)
+let test_gray_run_replays () =
+  let sch = Chaos.gen Chaos.Gray ~seed:11 ~index:2 in
+  let a = Chaos.run_one Chaos.Gray sch in
+  let b = Chaos.run_one Chaos.Gray sch in
+  Alcotest.(check string) "same schedule, same digest" a.Chaos.digest
+    b.Chaos.digest;
+  Alcotest.(check (list string)) "no violations" [] a.Chaos.violations;
+  Alcotest.(check bool) "history non-trivial" true (a.Chaos.ops >= 10)
+
+let test_gray_campaign_green () =
+  let r =
+    Chaos.campaign ~disk_runs:0 ~kv_runs:0 ~gray_runs:8 ~seed:17 ()
+  in
+  Alcotest.(check int) "runs" 8 r.Chaos.runs;
+  Alcotest.(check int) "all oracles green" 0 (List.length r.Chaos.violations);
+  Alcotest.(check bool) "gray fault kinds explored" true
+    (List.exists
+       (fun (k, n) -> (k = "link-delay" || k = "partition") && n > 0)
+       r.Chaos.kinds)
+
 let test_selftest () =
   let st = Chaos.selftest ~seed:11 in
   Alcotest.(check bool) "planted violation caught" true st.Chaos.caught;
@@ -173,12 +228,17 @@ let () =
           Alcotest.test_case "lost-write" `Quick test_lin_lost_write;
           Alcotest.test_case "lost-read" `Quick test_lin_lost_read ] );
       ( "schedule",
-        [ Alcotest.test_case "subschedules" `Quick test_schedule_subschedules ]
-      );
+        [ Alcotest.test_case "subschedules" `Quick test_schedule_subschedules;
+          Alcotest.test_case "link-fault round trip" `Quick
+            test_schedule_link_fault_round_trip;
+          Alcotest.test_case "malformed specs rejected" `Quick
+            test_schedule_malformed_partition_rejected ] );
       ( "engine",
         [ Alcotest.test_case "gen-deterministic" `Quick test_gen_deterministic;
           Alcotest.test_case "run-replays" `Quick test_run_replays;
           Alcotest.test_case "campaign-green" `Quick test_campaign_green;
           Alcotest.test_case "lease-kill" `Quick test_lease_kill_no_stale_reads;
           Alcotest.test_case "lease-campaign" `Quick test_lease_campaign_green;
+          Alcotest.test_case "gray-replays" `Quick test_gray_run_replays;
+          Alcotest.test_case "gray-campaign" `Quick test_gray_campaign_green;
           Alcotest.test_case "selftest" `Quick test_selftest ] ) ]

@@ -367,6 +367,153 @@ let test_runstats_counts_retries () =
 (* ------------------------------------------------------------------ *)
 (* Client give-up verdict                                              *)
 
+(* ------------------------------------------------------------------ *)
+(* Circuit breakers and op budgets                                     *)
+
+(* A 1-node cluster plus a breaker/budget client.  The client's NIC
+   attaches after the node's, so its fabric address is 1 and the
+   gray/partition window is the directed link 1 -> 0. *)
+let mk_gray_pair ?breaker ?op_budget ~seed () =
+  let net = Fabric.create ~latency:5_000 ~seed () in
+  let c = Cluster.create ~nshards:2 ~replication:1 ~seed ~nnodes:1 net in
+  Cluster.start c;
+  let cstack = Stack.create net (Fabric.attach net ~label:"client" ()) in
+  let client =
+    Client.create ~call_timeout:20_000 ?breaker ?op_budget ~seed:9
+      ~bootstrap:(Cluster.addrs c) cstack
+  in
+  (net, c, client)
+
+let test_breaker_trip_halfopen_close () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net, c, client =
+          mk_gray_pair
+            ~breaker:{ Client.trip_after = 3; cooldown = 300_000 }
+            ~op_budget:80_000 ~seed:7 ()
+        in
+        Fiber.sleep 800_000;
+        Alcotest.(check bool) "healthy put acked" true
+          (Client.put client "k" "v1" = `Ok);
+        Alcotest.(check bool) "healthy node reads closed" true
+          (Client.breaker_state client 0 = `Closed);
+        (* the node goes gray: the client's requests to it vanish *)
+        Fabric.set_link_faults net ~src:1 ~dst:0 ~partition:true ();
+        (match Client.put client "k" "v2" with
+        | `Net_fail -> ()
+        | `Ok -> Alcotest.fail "put through a partition");
+        Alcotest.(check bool) "breaker tripped open" true
+          (Client.breaker_state client 0 = `Open);
+        Alcotest.(check bool) "trip counted" true
+          (Client.breaker_trips client >= 1);
+        (* cooldown passes: the breaker reads half-open *)
+        Fiber.sleep 400_000;
+        Alcotest.(check bool) "cooldown expiry reads half-open" true
+          (Client.breaker_state client 0 = `Half_open);
+        (* the link heals: the next operation is the probe *)
+        Fabric.clear_link_faults net ~src:1 ~dst:0;
+        Alcotest.(check bool) "probe succeeds" true
+          (Client.put client "k" "v3" = `Ok);
+        Alcotest.(check bool) "probe counted" true
+          (Client.breaker_probes client >= 1);
+        Alcotest.(check bool) "breaker closed again" true
+          (Client.breaker_state client 0 = `Closed);
+        Alcotest.(check bool) "write-through after recovery" true
+          (Client.get client "k" = `Found "v3");
+        Cluster.stop c)
+  in
+  ()
+
+let test_op_budget_bounds_failure_time () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net, c, client =
+          mk_gray_pair ~op_budget:50_000 ~seed:8 ()
+        in
+        Fiber.sleep 800_000;
+        Alcotest.(check bool) "healthy put acked" true
+          (Client.put client "k" "v1" = `Ok);
+        Fabric.set_link_faults net ~src:1 ~dst:0 ~partition:true ();
+        let t0 = Fiber.now () in
+        (match Client.put client "k" "v2" with
+        | `Net_fail -> ()
+        | `Ok -> Alcotest.fail "put through a partition");
+        let elapsed = Fiber.now () - t0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "failed fast (%d cycles)" elapsed)
+          true
+          (elapsed <= 120_000);
+        Alcotest.(check bool) "deadline miss counted" true
+          (Client.deadline_misses client >= 1);
+        Alcotest.(check int) "counted in ops_failed too" 1
+          (Client.ops_failed client);
+        Cluster.stop c)
+  in
+  ()
+
+let test_breaker_steers_around_gray_node () =
+  (* 3 replicas, the leader of one shard gray to the client only:
+     after the breaker trips, routing must steer rotations off that
+     node, and operations led by healthy nodes keep succeeding.  All
+     assertions happen after the run: a failed check inside the
+     simulation would kill the main fiber with the cluster still
+     heartbeating, and the run would never quiesce. *)
+  let victim = ref (-1)
+  and trips = ref 0
+  and skips = ref 0
+  and state = ref `Closed
+  and state_after = ref `Open
+  and healed_ok = ref false in
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:7 () in
+        let c =
+          Cluster.create ~nshards:4 ~replication:3 ~seed:7 ~nnodes:3 net
+        in
+        Cluster.start c;
+        let cstack =
+          Stack.create net (Fabric.attach net ~label:"client" ())
+        in
+        let client =
+          Client.create ~call_timeout:20_000
+            ~breaker:{ Client.trip_after = 3; cooldown = 2_000_000 }
+            ~op_budget:120_000 ~seed:9 ~bootstrap:(Cluster.addrs c) cstack
+        in
+        Fiber.sleep 1_000_000;
+        (* gray the node that actually leads key "hot"'s shard, so
+           every op on that key keeps running into the open breaker *)
+        let m = Cluster.map c in
+        let v = Cluster.leader_of c (Shardmap.shard_of_key m "hot") in
+        victim := v;
+        if v >= 0 then begin
+          Fabric.set_link_faults net ~src:3 ~dst:v ~partition:true ();
+          for _ = 1 to 6 do
+            match Client.put client "hot" "v" with `Ok | `Net_fail -> ()
+          done;
+          trips := Client.breaker_trips client;
+          skips := Client.breaker_skips client;
+          state := Client.breaker_state client v;
+          (* heal the link: the next op steers to a follower, whose
+             redirect goes straight at the leader (redirect hops bypass
+             the breaker — they are the probe), succeeds, and closes it *)
+          Fabric.clear_link_faults net ~src:3 ~dst:v;
+          healed_ok := Client.put client "hot" "v" = `Ok;
+          state_after := Client.breaker_state client v
+        end;
+        Cluster.stop c)
+  in
+  Alcotest.(check bool) "shard has a settled leader" true (!victim >= 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "breaker tripped on the gray node (trips=%d)" !trips)
+    true (!trips >= 1);
+  Alcotest.(check bool) "gray node reads open" true (!state = `Open);
+  Alcotest.(check bool)
+    (Printf.sprintf "rotations steered off it (skips=%d)" !skips)
+    true (!skips >= 1);
+  Alcotest.(check bool) "healed link serves again" true !healed_ok;
+  Alcotest.(check bool) "success closes the breaker" true
+    (!state_after = `Closed)
+
 let test_client_net_fail_no_cluster () =
   (* no cluster ever starts: every attempt times out and the client
      reports the same typed verdict (and the same name) as
@@ -542,6 +689,14 @@ let () =
             test_availability_under_loss_and_crashes;
           Alcotest.test_case "client Net_fail with no cluster" `Quick
             test_client_net_fail_no_cluster
+        ] );
+      ( "breakers",
+        [ Alcotest.test_case "trip, half-open, close" `Quick
+            test_breaker_trip_halfopen_close;
+          Alcotest.test_case "op budget bounds failure time" `Quick
+            test_op_budget_bounds_failure_time;
+          Alcotest.test_case "steering around a gray node" `Quick
+            test_breaker_steers_around_gray_node
         ] );
       ( "determinism",
         [ Alcotest.test_case "same seed, byte-identical run" `Slow

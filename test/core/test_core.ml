@@ -380,6 +380,62 @@ let test_choice_poll_strategy () =
   in
   ()
 
+let test_choice_timeout_deadline_is_now () =
+  (* the boundary tick: a timeout arm whose absolute deadline equals
+     the instant the choice starts ([after 0]) fires exactly once,
+     without waiting for a later tick *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let never : int Chan.t = Chan.rendezvous () in
+        let fired = ref 0 in
+        let t0 = Fiber.now () in
+        Chan.choose
+          [ Chan.recv_case never (fun _ -> ());
+            Chan.after 0 (fun () -> incr fired) ];
+        Alcotest.(check int) "fired exactly once" 1 !fired;
+        Alcotest.(check bool)
+          (Printf.sprintf "fired at its deadline tick (+%d)"
+             (Fiber.now () - t0))
+          true
+          (Fiber.now () - t0 < 1_000))
+  in
+  ()
+
+let test_choice_equal_deadlines_fire_once () =
+  (* two timeout arms sharing one absolute deadline: the commit cell
+     must let exactly one of them through *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let never : int Chan.t = Chan.rendezvous () in
+        let fired = ref 0 in
+        Chan.choose
+          [ Chan.recv_case never (fun _ -> ());
+            Chan.after 500 (fun () -> incr fired);
+            Chan.after 500 (fun () -> incr fired) ];
+        Fiber.sleep 5_000;
+        Alcotest.(check int) "equal deadlines, one firing" 1 !fired)
+  in
+  ()
+
+let test_choice_poll_timeout_boundary () =
+  (* poll strategy rechecks [now - start >= n] every tick: the arm
+     must fire on the first tick at-or-past the deadline, never
+     before it, and only once even though later polls would also see
+     the deadline as passed *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let never : int Chan.t = Chan.rendezvous () in
+        let fired = ref 0 in
+        let t0 = Fiber.now () in
+        Chan.choose ~strategy:(Chan.Poll 100)
+          [ Chan.recv_case never (fun _ -> ());
+            Chan.after 1_000 (fun () -> incr fired) ];
+        Alcotest.(check int) "fired exactly once" 1 !fired;
+        Alcotest.(check bool) "not before the deadline" true
+          (Fiber.now () - t0 >= 1_000))
+  in
+  ()
+
 let test_deadlock_detected () =
   let raised = ref false in
   (try
@@ -708,7 +764,13 @@ let () =
             test_choice_send_full_commits_after_drain;
           Alcotest.test_case "send case beats a later timeout" `Quick
             test_choice_send_full_beats_late_timeout;
-          Alcotest.test_case "poll strategy" `Quick test_choice_poll_strategy ] );
+          Alcotest.test_case "poll strategy" `Quick test_choice_poll_strategy;
+          Alcotest.test_case "timeout deadline = now" `Quick
+            test_choice_timeout_deadline_is_now;
+          Alcotest.test_case "equal deadlines fire once" `Quick
+            test_choice_equal_deadlines_fire_once;
+          Alcotest.test_case "poll timeout boundary" `Quick
+            test_choice_poll_timeout_boundary ] );
       ( "mailbox-rpc",
         [ Alcotest.test_case "selective receive" `Quick test_mailbox_selective;
           Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip ] );

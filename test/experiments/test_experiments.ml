@@ -33,7 +33,7 @@ let test_all_run_and_fill () =
 let test_registry_lookup () =
   Alcotest.(check bool) "finds e3" true (Experiments.find "E3" <> None);
   Alcotest.(check bool) "unknown id" true (Experiments.find "e99" = None);
-  Alcotest.(check int) "catalogue size" 24 (List.length Experiments.all)
+  Alcotest.(check int) "catalogue size" 25 (List.length Experiments.all)
 
 let run_tables id =
   match Experiments.find id with

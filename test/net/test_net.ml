@@ -206,6 +206,147 @@ let test_fabric_set_faults_mid_run () =
   in
   ()
 
+let test_set_faults_omitted_knobs_keep_value () =
+  (* the documented contract: every omitted knob keeps its current
+     value, so [set_faults t ()] is a no-op and a window can be closed
+     one knob at a time without disturbing the others *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:9 () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        Fabric.set_faults net ~dup:0.9 ();
+        Fabric.set_faults net ();  (* no-op *)
+        Fabric.set_faults net ~delay:0.0 ();  (* touches only delay *)
+        for i = 1 to 50 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        Fiber.sleep 1_000_000;
+        let dup = (Fabric.fault_stats net).Fabric.duplicated in
+        Alcotest.(check bool)
+          (Printf.sprintf "dup=0.9 survived two narrower set_faults (%d)" dup)
+          true (dup > 30);
+        (* and an explicit 0.0 is what actually closes it *)
+        Fabric.set_faults net ~dup:0.0 ();
+        for i = 51 to 100 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+        done;
+        Fiber.sleep 1_000_000;
+        Alcotest.(check int) "explicit 0.0 closes the knob" dup
+          (Fabric.fault_stats net).Fabric.duplicated)
+  in
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-link faults                                                     *)
+
+let test_link_partition_is_directed () =
+  (* partitioning a->b must not touch a->c or b->a: link faults are
+     per directed (src, dst) pair — the asymmetric gray case *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:5 () in
+        let a = Fabric.attach net () in
+        let b = Fabric.attach net () in
+        let c = Fabric.attach net () in
+        Fabric.set_link_faults net ~src:0 ~dst:1 ~partition:true ();
+        let send nic dst n =
+          for i = 1 to n do
+            Fabric.transmit nic
+              { Fabric.src = 0; dst; port = 1; seq = i; payload = "" }
+          done
+        in
+        send a 1 20;  (* partitioned *)
+        send a 2 15;  (* same source, other destination: clean *)
+        send b 0 10;  (* reverse direction: clean *)
+        ignore c;
+        Fiber.sleep 1_000_000;
+        let ls = Fabric.link_stats net in
+        Alcotest.(check int) "a->b frames partitioned" 20 ls.Fabric.partitioned;
+        Alcotest.(check int) "only those dropped" 20
+          (Fabric.frames_dropped net);
+        Alcotest.(check int) "a->c and b->a delivered" 25
+          (Fabric.frames_delivered net);
+        (* heal the link: traffic flows again *)
+        Fabric.clear_link_faults net ~src:0 ~dst:1;
+        send a 1 5;
+        Fiber.sleep 1_000_000;
+        Alcotest.(check int) "healed link delivers" 30
+          (Fabric.frames_delivered net))
+  in
+  ()
+
+let test_link_delay_slows_one_link () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed:6 () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        Fabric.set_link_faults net ~src:0 ~dst:1 ~delay:0.99
+          ~delay_cycles:50_000 ();
+        let t0 = Fiber.now () in
+        for i = 1 to 10 do
+          Fabric.transmit a
+            { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "x" }
+        done;
+        for _ = 1 to 10 do
+          ignore (Chan.recv (Fabric.rx b))
+        done;
+        Alcotest.(check bool) "latency + link delay applied" true
+          (Fiber.now () - t0 >= 55_000);
+        let delayed = (Fabric.link_stats net).Fabric.link_delayed in
+        Alcotest.(check bool)
+          (Printf.sprintf "most frames link-delayed (%d)" delayed)
+          true (delayed >= 5))
+  in
+  ()
+
+let link_window_counts ~seed () =
+  (* a per-link loss window opened then closed mid-run; returns every
+     counter the window can move *)
+  let out = ref (0, 0, 0) in
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let net = Fabric.create ~latency:5_000 ~seed () in
+        let a = Fabric.attach net () and b = Fabric.attach net () in
+        ignore b;
+        let send n =
+          for i = 1 to n do
+            Fabric.transmit a
+              { Fabric.src = 0; dst = 1; port = 1; seq = i; payload = "" }
+          done
+        in
+        Fabric.set_link_faults net ~src:0 ~dst:1 ~loss:0.5 ();
+        send 200;
+        Fiber.sleep 1_000_000;
+        let during = (Fabric.link_stats net).Fabric.link_dropped in
+        (* close the window: omitted knobs keep their values, an
+           explicit 0.0 clears the loss *)
+        Fabric.set_link_faults net ~src:0 ~dst:1 ~loss:0.0 ();
+        send 100;
+        Fiber.sleep 1_000_000;
+        out :=
+          ( during,
+            (Fabric.link_stats net).Fabric.link_dropped,
+            Fabric.frames_delivered net ))
+  in
+  !out
+
+let test_link_window_open_close_deterministic () =
+  let during, after_close, delivered = link_window_counts ~seed:13 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "window dropped about half (%d)" during)
+    true
+    (during > 60 && during < 140);
+  Alcotest.(check int) "window closed: no further link drops" during
+    after_close;
+  Alcotest.(check int) "everything outside the window delivered"
+    (300 - during) delivered;
+  (* mid-run window open/close is deterministic: same seed, same counts *)
+  Alcotest.(check bool) "same seed, same window effects" true
+    (link_window_counts ~seed:13 () = (during, after_close, delivered))
+
 (* ------------------------------------------------------------------ *)
 (* Stack                                                               *)
 
@@ -537,6 +678,14 @@ let () =
             test_fabric_fault_knobs;
           Alcotest.test_case "set_faults mid-run" `Quick
             test_fabric_set_faults_mid_run;
+          Alcotest.test_case "set_faults keeps omitted knobs" `Quick
+            test_set_faults_omitted_knobs_keep_value;
+          Alcotest.test_case "link partition is directed" `Quick
+            test_link_partition_is_directed;
+          Alcotest.test_case "link delay slows one link" `Quick
+            test_link_delay_slows_one_link;
+          Alcotest.test_case "link window open/close deterministic" `Quick
+            test_link_window_open_close_deterministic;
           QCheck_alcotest.to_alcotest
             prop_lossless_fabric_delivers_everything ] );
       ( "stack",

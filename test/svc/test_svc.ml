@@ -54,7 +54,7 @@ let test_reject_busy_without_handler () =
         let r1 = Svc.call_async ep 1 in
         (match Svc.call_result ep 2 with
         | `Busy -> ()
-        | `Ok _ -> Alcotest.fail "second request should be rejected");
+        | `Ok _ | `Expired -> Alcotest.fail "second request should be rejected");
         Alcotest.(check int) "rejection counted" 1 (Svc.rejected ep);
         Alcotest.(check int) "queue still holds one" 1 (Svc.depth ep);
         ignore (Svc.start ep (fun v -> incr ran; v));
@@ -80,7 +80,8 @@ let test_shed_drops_exactly_the_stalest () =
         ignore (Svc.start ep (fun v -> v));
         (match Svc.await_result r1 with
         | `Busy -> ()
-        | `Ok _ -> Alcotest.fail "stalest request must be the one shed");
+        | `Ok _ | `Expired ->
+          Alcotest.fail "stalest request must be the one shed");
         Alcotest.(check int) "second survived" 2 (Svc.await r2);
         Alcotest.(check int) "newest survived" 3 (Svc.await r3))
   in
@@ -199,7 +200,7 @@ let overload_scenario ~policy ~seed =
                      (Fiber.spawn ~daemon:true (fun () ->
                           (match Svc.call_result ep i with
                           | `Ok _ -> incr completed
-                          | `Busy -> incr busy);
+                          | `Busy | `Expired -> incr busy);
                           Chan.send finished ()));
                    Fiber.sleep 4_000
                  done))
@@ -268,6 +269,109 @@ let test_serve_cast_batch () =
   in
   ()
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end deadlines                                                *)
+
+let test_deadline_dropped_at_dequeue () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let ep = Svc.create ~subsystem:"test" ~label:"slow" () in
+        ignore
+          (Svc.start ep (fun x ->
+               Fiber.sleep 50_000;
+               x));
+        (* occupy the server so the deadlined request waits queued *)
+        let first = Svc.call_async ep 1 in
+        Fiber.sleep 1_000;
+        (match Svc.call_result ep ~deadline:(Fiber.now () + 10_000) 2 with
+        | `Expired -> ()
+        | `Ok _ | `Busy -> Alcotest.fail "queued call outlived its deadline");
+        (match Svc.await_result first with
+        | `Ok 1 -> ()
+        | `Ok _ | `Busy | `Expired -> Alcotest.fail "first call lost");
+        Fiber.sleep 200_000;
+        Alcotest.(check int) "dropped at the dequeue boundary" 1
+          (Svc.expired ep);
+        Alcotest.(check int) "handler never saw the expired request" 1
+          (Svc.served ep))
+  in
+  ()
+
+let test_deadline_pre_expired () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let ep = Svc.create ~subsystem:"test" ~label:"echo" () in
+        ignore (Svc.start ep (fun x -> x));
+        Fiber.sleep 5_000;
+        (match Svc.call_result ep ~deadline:(Fiber.now () - 1) 7 with
+        | `Expired -> ()
+        | `Ok _ | `Busy -> Alcotest.fail "already-dead deadline accepted");
+        Alcotest.check_raises "call raises Expired" Svc.Expired (fun () ->
+            ignore (Svc.call ep ~deadline:(Fiber.now ()) 7));
+        Alcotest.(check int) "nothing reached the queue" 0 (Svc.served ep))
+  in
+  ()
+
+let test_deadline_ambient_inheritance () =
+  let (_ : Runstats.t) =
+    run (fun () ->
+        Alcotest.(check (option int)) "no ambient deadline by default"
+          None
+          (Svc.current_deadline ());
+        let ep = Svc.create ~subsystem:"test" ~label:"echo" () in
+        ignore (Svc.start ep (fun x -> x));
+        Fiber.sleep 5_000;
+        let d = Fiber.now () + 10_000 in
+        Svc.with_deadline d (fun () ->
+            Alcotest.(check (option int)) "ambient deadline visible"
+              (Some d)
+              (Svc.current_deadline ());
+            (* a call with no explicit deadline inherits the ambient
+               one: once it passes, the call expires *)
+            Fiber.sleep 20_000;
+            match Svc.call_result ep 1 with
+            | `Expired -> ()
+            | `Ok _ | `Busy ->
+              Alcotest.fail "ambient deadline not inherited");
+        Alcotest.(check (option int)) "restored on exit" None
+          (Svc.current_deadline ());
+        (* without the ambient deadline the same call succeeds *)
+        match Svc.call_result ep 2 with
+        | `Ok 2 -> ()
+        | `Ok _ | `Busy | `Expired -> Alcotest.fail "clean call failed")
+  in
+  ()
+
+let test_deadline_inherited_by_nested_handler () =
+  (* the budget set at the edge bounds the whole downstream tree: an
+     outer handler that dawdles past the caller's deadline sees its
+     own nested call expire *)
+  let (_ : Runstats.t) =
+    run (fun () ->
+        let inner = Svc.create ~subsystem:"test" ~label:"inner" () in
+        ignore (Svc.start inner (fun x -> x * 10));
+        let outer = Svc.create ~subsystem:"test" ~label:"outer" () in
+        let inner_verdict = ref `Unset in
+        ignore
+          (Svc.start outer (fun x ->
+               Fiber.sleep 30_000;  (* blow the caller's budget *)
+               (inner_verdict :=
+                  match Svc.call_result inner x with
+                  | `Expired -> `Expired
+                  | `Ok _ -> `Ok
+                  | `Busy -> `Busy);
+               x));
+        Fiber.sleep 5_000;
+        (match Svc.call_result outer ~deadline:(Fiber.now () + 10_000) 3 with
+        | `Expired -> ()
+        | `Ok _ | `Busy -> Alcotest.fail "outer call outlived its deadline");
+        Fiber.sleep 100_000;
+        Alcotest.(check bool) "nested call inherited the spent budget"
+          true
+          (!inner_verdict = `Expired))
+  in
+  ()
+
 let () =
   Alcotest.run "chorus-svc"
     [ ( "endpoint",
@@ -290,6 +394,14 @@ let () =
             test_take_batch_drains_backlog;
           Alcotest.test_case "serve_cast_batch coalesces" `Quick
             test_serve_cast_batch ] );
+      ( "deadlines",
+        [ Alcotest.test_case "dropped at dequeue" `Quick
+            test_deadline_dropped_at_dequeue;
+          Alcotest.test_case "pre-expired" `Quick test_deadline_pre_expired;
+          Alcotest.test_case "ambient inheritance" `Quick
+            test_deadline_ambient_inheritance;
+          Alcotest.test_case "nested handler inherits" `Quick
+            test_deadline_inherited_by_nested_handler ] );
       ( "determinism",
         [ Alcotest.test_case "same seed, same run, per policy" `Quick
             test_deterministic_per_policy ] ) ]
